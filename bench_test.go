@@ -1,0 +1,366 @@
+package flexos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"flexos"
+	"flexos/internal/cheri"
+	"flexos/internal/clock"
+	"flexos/internal/core/build"
+	"flexos/internal/core/coloring"
+	"flexos/internal/core/compat"
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+	"flexos/internal/harness"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
+	flexnet "flexos/internal/net"
+	"flexos/internal/sched"
+)
+
+// Every table and figure of the paper's evaluation has a bench here.
+// Custom metrics report the *simulated* performance (sim-Mbps,
+// sim-kreq/s, sim-ns/switch); ns/op is the host cost of running the
+// simulation and is not a paper metric.
+
+// --- Fig. 3: iperf throughput across isolation mechanisms ------------
+
+func fig3Bench(b *testing.B, cfg build.Config, recvBuf int) {
+	b.Helper()
+	const total = 512 << 10
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunIperf(cfg, total, recvBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = r.Gbps * 1000
+	}
+	b.ReportMetric(mbps, "sim-Mbps")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	configs := []build.Config{
+		{Name: "baseline-kvm"},
+		{Name: "mpk-shared", Compartments: build.NWOnly(), Backend: gate.MPKShared, Alloc: build.AllocPerCompartment},
+		{Name: "mpk-switched", Compartments: build.NWOnly(), Backend: gate.MPKSwitched, Alloc: build.AllocPerCompartment},
+		{Name: "sh-netstack", SH: map[string]flexos.HardeningProfile{"netstack": harness.SHProfile}, Alloc: build.AllocPerLibrary},
+		{Name: "baseline-xen", Platform: 1},
+		{Name: "vm-rpc-xen", Compartments: build.NWOnly(), Backend: gate.VMRPC, Platform: 1, Alloc: build.AllocPerCompartment},
+	}
+	for _, cfg := range configs {
+		for _, size := range []int{64, 1024, 32 << 10} {
+			b.Run(fmt.Sprintf("%s/buf=%d", cfg.Name, size), func(b *testing.B) {
+				fig3Bench(b, cfg, size)
+			})
+		}
+	}
+}
+
+// --- Table 1: iperf with per-component software hardening ------------
+
+func BenchmarkTable1(b *testing.B) {
+	rows := map[string][]string{
+		"none":     nil,
+		"sched":    {"sched"},
+		"netstack": {"netstack"},
+		"libc":     {"libc"},
+		"rest":     {"rest", "app", "alloc"},
+		"entire":   {"sched", "netstack", "libc", "rest", "app", "alloc"},
+	}
+	for name, libs := range rows {
+		b.Run("sh="+name, func(b *testing.B) {
+			sh := make(map[string]flexos.HardeningProfile, len(libs))
+			for _, l := range libs {
+				sh[l] = harness.SHProfile
+			}
+			cfg := build.Config{Alloc: build.AllocPerLibrary, SH: sh}
+			var gbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunIperf(cfg, 512<<10, 8<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gbps = r.Gbps
+			}
+			b.ReportMetric(gbps*1000, "sim-Mbps")
+		})
+	}
+}
+
+// --- Fig. 4: Redis under SH configs and the verified scheduler -------
+
+func BenchmarkFig4(b *testing.B) {
+	configs := []build.Config{
+		{Name: "no-sh"},
+		{Name: "sh-global-alloc", SH: map[string]flexos.HardeningProfile{"netstack": harness.SHProfile}, Alloc: build.AllocGlobal},
+		{Name: "sh-local-alloc", SH: map[string]flexos.HardeningProfile{"netstack": harness.SHProfile}, Alloc: build.AllocPerLibrary},
+		{Name: "verified-sched", Sched: build.SchedVerified},
+	}
+	for _, cfg := range configs {
+		for _, payload := range []int{5, 50, 500} {
+			for _, op := range []harness.RedisOp{harness.OpSET, harness.OpGET} {
+				b.Run(fmt.Sprintf("%s/%s/%dB", cfg.Name, op, payload), func(b *testing.B) {
+					var kreq float64
+					for i := 0; i < b.N; i++ {
+						r, err := harness.RunRedis(cfg, op, payload, 96)
+						if err != nil {
+							b.Fatal(err)
+						}
+						kreq = r.KReqPerSec
+					}
+					b.ReportMetric(kreq, "sim-kreq/s")
+				})
+			}
+		}
+	}
+}
+
+// --- Fig. 5: Redis under MPK compartmentalization models -------------
+
+func BenchmarkFig5(b *testing.B) {
+	models := []struct {
+		name  string
+		comps []build.Compartment
+	}{
+		{"no-isol", nil},
+		{"nw-only", build.NWOnly()},
+		{"nw-sched-rest", build.NWSchedRest()},
+		{"nw-plus-sched", build.NWPlusSched()},
+	}
+	for _, m := range models {
+		for _, backend := range []gate.Backend{gate.MPKShared, gate.MPKSwitched} {
+			if m.comps == nil && backend == gate.MPKSwitched {
+				continue // the baseline has no crossings; one run suffices
+			}
+			name := m.name
+			if m.comps != nil {
+				name += "/" + backend.String()
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := build.Config{Compartments: m.comps, Backend: backend, Alloc: build.AllocPerCompartment}
+				if m.comps == nil {
+					cfg.Alloc = build.AllocGlobal
+				}
+				var kreq float64
+				for i := 0; i < b.N; i++ {
+					r, err := harness.RunRedis(cfg, harness.OpGET, 50, 96)
+					if err != nil {
+						b.Fatal(err)
+					}
+					kreq = r.KReqPerSec
+				}
+				b.ReportMetric(kreq, "sim-kreq/s")
+			})
+		}
+	}
+}
+
+// --- §4: context-switch latency ---------------------------------------
+
+func BenchmarkContextSwitch(b *testing.B) {
+	kinds := map[string]func() sched.Scheduler{
+		"c":        func() sched.Scheduler { return sched.NewCScheduler() },
+		"verified": func() sched.Scheduler { return sched.NewVerifiedScheduler() },
+	}
+	for name, mk := range kinds {
+		b.Run(name, func(b *testing.B) {
+			var ns float64
+			for i := 0; i < b.N; i++ {
+				s := mk()
+				cpu := clock.New()
+				body := func(th *sched.Thread) {
+					for j := 0; j < 500; j++ {
+						th.Yield()
+					}
+				}
+				s.Spawn("a", cpu, body)
+				s.Spawn("b", cpu, body)
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				ns = clock.Nanoseconds(s.SwitchCost())
+			}
+			b.ReportMetric(ns, "sim-ns/switch")
+		})
+	}
+}
+
+// --- Ablations: design choices DESIGN.md calls out --------------------
+
+// BenchmarkAblationSealPolicy compares PKRU-integrity policies (the
+// MPK backend must prevent unauthorized PKRU writes via static
+// analysis, runtime checks or page-table sealing).
+func BenchmarkAblationSealPolicy(b *testing.B) {
+	for _, pol := range []mpk.SealPolicy{mpk.SealStatic, mpk.SealRuntime, mpk.SealPageTable} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := build.Config{Compartments: build.NWOnly(), Backend: gate.MPKShared,
+				Alloc: build.AllocPerCompartment, Seal: pol}
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunIperf(cfg, 512<<10, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.Gbps * 1000
+			}
+			b.ReportMetric(mbps, "sim-Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationAllocatorPolicy isolates the allocator-granularity
+// choice under hardening (the Fig. 4 mechanism).
+func BenchmarkAblationAllocatorPolicy(b *testing.B) {
+	for _, pol := range []build.AllocPolicy{build.AllocGlobal, build.AllocPerCompartment, build.AllocPerLibrary} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := build.Config{SH: map[string]flexos.HardeningProfile{"netstack": harness.SHProfile}, Alloc: pol}
+			var kreq float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunRedis(cfg, harness.OpSET, 50, 96)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kreq = r.KReqPerSec
+			}
+			b.ReportMetric(kreq, "sim-kreq/s")
+		})
+	}
+}
+
+// BenchmarkAblationColoring compares the coloring algorithms on the
+// default image's conflict graph.
+func BenchmarkAblationColoring(b *testing.B) {
+	m := compat.BuildMatrix(spec.DefaultImage())
+	g := coloring.FromMatrix(m)
+	b.Run("greedy", func(b *testing.B) {
+		var colors int
+		for i := 0; i < b.N; i++ {
+			colors = coloring.Greedy(g).NumColors
+		}
+		b.ReportMetric(float64(colors), "compartments")
+	})
+	b.Run("dsatur", func(b *testing.B) {
+		var colors int
+		for i := 0; i < b.N; i++ {
+			colors = coloring.DSATUR(g).NumColors
+		}
+		b.ReportMetric(float64(colors), "compartments")
+	})
+	b.Run("exact", func(b *testing.B) {
+		var colors int
+		for i := 0; i < b.N; i++ {
+			a, err := coloring.Exact(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			colors = a.NumColors
+		}
+		b.ReportMetric(float64(colors), "compartments")
+	})
+}
+
+// BenchmarkAblationGateCost measures the raw cost of one crossing per
+// backend (simulated cycles reported).
+func BenchmarkAblationGateCost(b *testing.B) {
+	arena := mem.NewArena(16 * mem.PageSize)
+	for _, backend := range []gate.Backend{gate.FuncCall, gate.MPKShared, gate.MPKSwitched, gate.VMRPC, gate.CHERI} {
+		b.Run(backend.String(), func(b *testing.B) {
+			cpu := clock.New()
+			unit := mpk.New(arena, cpu)
+			var g gate.Gate
+			switch backend {
+			case gate.FuncCall:
+				g = gate.NewFuncCall(cpu)
+			case gate.MPKShared:
+				g = gate.NewMPKShared(unit, cpu)
+			case gate.MPKSwitched:
+				g = gate.NewMPKSwitched(unit, cpu)
+			case gate.VMRPC:
+				g = gate.NewVMRPC(cpu, nil)
+			case gate.CHERI:
+				m := cheri.New(arena, cpu)
+				cg := gate.NewCHERI(m, cpu)
+				root, err := m.Root(mem.PageSize, mem.PageSize,
+					cheri.PermRead|cheri.PermWrite|cheri.PermExecute)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, name := range []string{"a", "b"} {
+					otype := m.AllocOType()
+					code, _ := m.Seal(root, otype)
+					data, _ := m.Seal(root, otype)
+					if err := cg.RegisterEntry(name, code, data); err != nil {
+						b.Fatal(err)
+					}
+				}
+				g = cg
+			}
+			from, to := gate.NewDomain("a", 1), gate.NewDomain("b", 2)
+			for i := 0; i < b.N; i++ {
+				if err := g.Call(from, to, 2, func() error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cpu.Cycles())/float64(b.N), "sim-cycles/crossing")
+		})
+	}
+}
+
+// BenchmarkAblationDelayedAck measures RFC 1122 delayed
+// acknowledgements on the iperf receive path.
+func BenchmarkAblationDelayedAck(b *testing.B) {
+	for _, delayed := range []bool{false, true} {
+		name := "ack-per-segment"
+		if delayed {
+			name = "delayed-ack"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := build.Config{}
+			cfg.Net.DelayedAck = delayed
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunIperf(cfg, 512<<10, 8<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.Gbps * 1000
+			}
+			b.ReportMetric(mbps, "sim-Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationSocketMode compares direct socket calls with the
+// tcpip-thread (netconn) handoff.
+func BenchmarkAblationSocketMode(b *testing.B) {
+	for _, mode := range []flexnet.SocketMode{flexnet.DirectMode, flexnet.TCPIPThreadMode} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var kreq float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunRedisWithMode(build.Config{}, harness.OpGET, 50, 96, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kreq = r.KReqPerSec
+			}
+			b.ReportMetric(kreq, "sim-kreq/s")
+		})
+	}
+}
+
+// BenchmarkExplore measures full design-space enumeration of the
+// default image.
+func BenchmarkExplore(b *testing.B) {
+	libs := spec.DefaultImage()
+	for i := 0; i < b.N; i++ {
+		cands, err := flexos.Explore(libs, flexos.MPKShared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) != 16 {
+			b.Fatal("bad candidate count")
+		}
+	}
+}

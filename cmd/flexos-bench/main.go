@@ -1,0 +1,71 @@
+// Command flexos-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|all [-quick] [-ops N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexos/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, all")
+	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
+	ops := flag.Int("ops", 300, "redis requests per measurement")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "fig3":
+			r, err := harness.Fig3(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatFig3(r))
+		case "table1":
+			r, err := harness.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatTable1(r))
+		case "fig4":
+			r, err := harness.Fig4(*ops)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatFig4(r))
+		case "fig5":
+			r, err := harness.Fig5(*ops)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatFig5(r))
+		case "ctxswitch":
+			r, err := harness.CtxSwitch()
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatCtxSwitch(r))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "flexos-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

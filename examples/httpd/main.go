@@ -1,0 +1,79 @@
+// Httpd serves a few routes over the FlexOS stack under a chosen
+// isolation configuration and fetches them — a third application
+// (beyond the paper's iperf and Redis) on the same porting surface.
+//
+//	go run ./examples/httpd -backend mpk -model nw-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flexos"
+	"flexos/internal/app/httpd"
+	"flexos/internal/sched"
+)
+
+func main() {
+	backendName := flag.String("backend", "mpk", "isolation backend: none, mpk, hodor, vm, cheri")
+	model := flag.String("model", "nw-only", "compartments: single, nw-only, nw-sched-rest")
+	requests := flag.Int("n", 5, "requests to issue")
+	flag.Parse()
+
+	backend, err := flexos.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := flexos.Config{Backend: backend, Alloc: flexos.AllocPerCompartment}
+	switch *model {
+	case "single":
+		cfg.Compartments = flexos.SingleCompartment()
+	case "nw-only":
+		cfg.Compartments = flexos.NWOnly()
+	case "nw-sched-rest":
+		cfg.Compartments = flexos.NWSchedRest()
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if backend == flexos.FuncCall {
+		cfg.Compartments = flexos.SingleCompartment()
+	}
+
+	w, err := flexos.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpd.NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 80)
+	srv.HandleStatic("/", "text/plain", []byte("FlexOS httpd: isolation is a build-time knob.\n"))
+	srv.Handle("/config", func(string) (int, []byte) {
+		return 200, []byte(fmt.Sprintf("backend=%v model=%s\n", backend, *model))
+	})
+
+	w.Sched.Spawn("httpd", w.Server.CPU, func(th *sched.Thread) {
+		if err := srv.Serve(th, *requests); err != nil {
+			log.Printf("server: %v", err)
+		}
+	})
+	w.Sched.Spawn("client", w.Client.CPU, func(th *sched.Thread) {
+		c := httpd.NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+			w.Server.Stack.IP(), 80)
+		for i := 0; i < *requests; i++ {
+			path := "/"
+			if i%2 == 1 {
+				path = "/config"
+			}
+			status, body, err := c.Get(th, path)
+			if err != nil {
+				log.Printf("GET %s: %v", path, err)
+				return
+			}
+			fmt.Printf("GET %-8s -> %d %q\n", path, status, body)
+		}
+	})
+	if err := w.Sched.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserved %d requests, %d domain crossings on the server\n",
+		srv.Requests, w.Server.Registry.TotalCrossings())
+}

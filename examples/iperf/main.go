@@ -1,0 +1,80 @@
+// Iperf reproduces a slice of the paper's Fig. 3 interactively: an
+// iperf-style bulk transfer over the simulated TCP stack, with the
+// isolation backend, compartment model and recv-buffer size chosen on
+// the command line.
+//
+//	go run ./examples/iperf -backend mpk -model nw-only -buf 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flexos"
+	"flexos/internal/clock"
+)
+
+func main() {
+	backendName := flag.String("backend", "none", "isolation backend: none, mpk, hodor, vm")
+	model := flag.String("model", "nw-only", "compartments: single, nw-only, nw-sched-rest, nw+sched")
+	buf := flag.Int("buf", 4096, "recv buffer size in bytes")
+	total := flag.Int("total", 4<<20, "bytes to transfer")
+	xen := flag.Bool("xen", false, "run on the Xen platform cost model")
+	shNet := flag.Bool("sh-netstack", false, "apply software hardening to the network stack")
+	traceN := flag.Int("trace", 0, "print the last N domain crossings")
+	flag.Parse()
+
+	backend, err := flexos.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := flexos.Config{
+		Backend: backend,
+		Alloc:   flexos.AllocPerCompartment,
+	}
+	switch *model {
+	case "single":
+		cfg.Compartments = flexos.SingleCompartment()
+	case "nw-only":
+		cfg.Compartments = flexos.NWOnly()
+	case "nw-sched-rest":
+		cfg.Compartments = flexos.NWSchedRest()
+	case "nw+sched":
+		cfg.Compartments = flexos.NWPlusSched()
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if backend == flexos.FuncCall {
+		cfg.Compartments = flexos.SingleCompartment()
+	}
+	if *xen {
+		cfg.Platform = 1
+	}
+	if *shNet {
+		cfg.SH = map[string]flexos.HardeningProfile{"netstack": flexos.FullHardening}
+		cfg.SH["netstack"] = flexos.HardeningProfile{ASAN: true, StackProtector: true, UBSan: true}
+		cfg.Alloc = flexos.AllocPerLibrary
+	}
+
+	res, ring, err := flexos.RunIperfTraced(cfg, *total, *buf, *traceN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iperf: %d bytes, recv buffer %d, backend %v, model %s\n",
+		res.Bytes, res.RecvBuf, backend, *model)
+	fmt.Printf("  throughput: %.2f Gb/s (simulated server time %.2f ms)\n",
+		res.Gbps, clock.Nanoseconds(res.ServerCycles)/1e6)
+	fmt.Printf("  domain crossings: %d\n", res.Crossings)
+	fmt.Println("  server cycles by component:")
+	for comp, cyc := range res.ByComponent {
+		fmt.Printf("    %-10s %12d (%5.1f%%)\n", comp, cyc,
+			100*float64(cyc)/float64(res.ServerCycles))
+	}
+	if ring != nil {
+		fmt.Printf("  last %d of %d crossings:\n", ring.Len(), ring.Total())
+		for _, e := range ring.Events() {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Verified-sched demonstrates the paper's formally verified scheduler
+// integration: the Dafny pre/post-conditions run as executable
+// contracts at every API entry, so corruption from a co-resident
+// untrusted component is caught instead of silently propagating — at
+// the documented cost of ~3x slower context switches.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"flexos/internal/clock"
+	"flexos/internal/sched"
+)
+
+func main() {
+	fmt.Println("== context-switch latency ==")
+	c := measure(sched.NewCScheduler())
+	v := measure(sched.NewVerifiedScheduler())
+	fmt.Printf("  C scheduler:        %6.1f ns/switch\n", c)
+	fmt.Printf("  verified scheduler: %6.1f ns/switch (%.2fx)\n", v, v/c)
+
+	fmt.Println("\n== contract checking ==")
+	fmt.Println("simulating a stray write corrupting the run queue...")
+	s := sched.NewVerifiedScheduler()
+	cpu := clock.New()
+	var victim *sched.Thread
+	victim = s.Spawn("victim", cpu, func(th *sched.Thread) {
+		// An untrusted cohabitant scribbles over scheduler state: a
+		// duplicate entry of the running thread appears in the queue.
+		s.CorruptQueueForDemo(victim)
+		th.Yield() // the next scheduler entry checks its invariants
+	})
+	err := s.Run()
+	var ce *sched.ContractError
+	if errors.As(err, &ce) {
+		fmt.Printf("caught: %v\n", ce)
+	} else {
+		log.Fatalf("contract violation not caught: %v", err)
+	}
+}
+
+func measure(s sched.Scheduler) float64 {
+	cpu := clock.New()
+	body := func(th *sched.Thread) {
+		for i := 0; i < 1000; i++ {
+			th.Yield()
+		}
+	}
+	s.Spawn("a", cpu, body)
+	s.Spawn("b", cpu, body)
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return clock.Nanoseconds(s.ContextSwitches()*s.SwitchCost()) / float64(s.ContextSwitches())
+}

@@ -1,0 +1,212 @@
+// Package flexos is a library operating system whose isolation
+// strategy is a build-time knob — a Go reproduction of "FlexOS: Making
+// OS Isolation Flexible" (Lefeuvre et al., HotOS '21).
+//
+// Traditional OSes commit to one protection mechanism at design time.
+// FlexOS postpones that choice: micro-libraries carry metadata
+// describing their memory/call behaviour and what they require of
+// cohabitants; pairwise compatibility plus graph coloring derives a
+// minimal compartmentalization; software-hardening transformations
+// (CFI, DFI/ASAN) rewrite a library's metadata to enlarge the feasible
+// space; and interchangeable gates (function call, MPK shared-stack,
+// MPK switched-stack, VM RPC) instantiate the crossings at build time.
+//
+// The typical workflow:
+//
+//	libs, _ := flexos.ParseLibraries(src)      // metadata language
+//	plan, _ := flexos.PlanCompartments(libs)   // compat + coloring
+//	cands, _ := flexos.Explore(libs, flexos.MPKShared) // design space
+//	world, _ := flexos.NewWorld(flexos.Config{ // runnable image
+//	    Compartments: flexos.NWOnly(),
+//	    Backend:      flexos.MPKShared,
+//	})
+//
+// Everything below is a thin facade over the internal packages; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package flexos
+
+import (
+	"flexos/internal/core/build"
+	"flexos/internal/core/coloring"
+	"flexos/internal/core/compat"
+	"flexos/internal/core/explore"
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+	"flexos/internal/harness"
+	"flexos/internal/sh"
+	"flexos/internal/trace"
+)
+
+// Metadata language (internal/core/spec).
+type (
+	// Library is one micro-library: metadata, analysis ground truth
+	// and applied hardening.
+	Library = spec.Library
+	// Spec is a library's metadata: memory access, calls, API and
+	// Requires clauses.
+	Spec = spec.Spec
+	// Requirement is one *(Verb,Object) clause.
+	Requirement = spec.Requirement
+)
+
+// ParseLibraries parses metadata source with one or more library
+// blocks.
+func ParseLibraries(src string) ([]*Library, error) { return spec.Parse(src) }
+
+// ParseSpec parses a bare metadata block, as printed in the paper.
+func ParseSpec(src string) (*Spec, error) { return spec.ParseSpec(src) }
+
+// DefaultImage returns the canonical six-library FlexOS image
+// metadata (verified scheduler, memory manager, libc, netstack, app,
+// rest).
+func DefaultImage() []*Library { return spec.DefaultImage() }
+
+// Harden applies every applicable SH transformation (CFI narrows
+// Call(*), DFI narrows Write(*)) and returns the hardened variant.
+func Harden(l *Library) (*Library, error) { return spec.Harden(l) }
+
+// Compatibility and compartmentalization (compat + coloring).
+type (
+	// Conflict explains why two libraries cannot share a compartment.
+	Conflict = compat.Conflict
+	// Plan is a compartmentalization: libraries per compartment.
+	Plan = coloring.Plan
+)
+
+// Compatible reports whether two libraries may share a compartment.
+func Compatible(a, b *Library) bool { return compat.Compatible(a, b) }
+
+// ExplainConflicts reports every violated requirement between the two
+// libraries, in both directions.
+func ExplainConflicts(a, b *Library) []Conflict { return compat.Explain(a, b) }
+
+// PlanCompartments derives a minimal compartmentalization for the
+// library set: pairwise compatibility, then exact graph coloring
+// (DSATUR for graphs beyond the exact solver's limit).
+func PlanCompartments(libs []*Library) (*Plan, error) {
+	m := compat.BuildMatrix(libs)
+	g := coloring.FromMatrix(m)
+	asg, err := coloring.Exact(g)
+	if err != nil {
+		asg = coloring.DSATUR(g)
+	}
+	return coloring.PlanFromAssignment(m, asg), nil
+}
+
+// Isolation backends (internal/core/gate).
+type Backend = gate.Backend
+
+// Backend values.
+const (
+	FuncCall    = gate.FuncCall
+	MPKShared   = gate.MPKShared
+	MPKSwitched = gate.MPKSwitched
+	VMRPC       = gate.VMRPC
+	CHERI       = gate.CHERI
+)
+
+// ParseBackend converts a string ("mpk", "hodor", "vm", ...) to a
+// Backend.
+func ParseBackend(s string) (Backend, error) { return gate.ParseBackend(s) }
+
+// Software hardening profiles (internal/sh).
+type HardeningProfile = sh.Profile
+
+// FullHardening enables every supported technique (ASAN, CFI, stack
+// protector, UBSan).
+var FullHardening = sh.Full
+
+// Design-space exploration (internal/core/explore).
+type (
+	// Candidate is one point of the design space with security and
+	// cost scores.
+	Candidate = explore.Candidate
+	// Workload profiles the application for cost estimation.
+	Workload = explore.Workload
+)
+
+// DefaultWorkload approximates the paper's Redis workload.
+func DefaultWorkload() Workload { return explore.DefaultWorkload() }
+
+// Explore enumerates every SH-variant combination with its minimal
+// coloring and scores.
+func Explore(libs []*Library, b Backend) ([]*Candidate, error) {
+	return explore.Explore(libs, b, explore.DefaultWorkload())
+}
+
+// MaxSecurityWithinBudget picks the most secure candidate whose
+// estimated slowdown stays within budget (1.5 = at most 50% slower).
+func MaxSecurityWithinBudget(cands []*Candidate, budget float64) *Candidate {
+	return explore.MaxSecurityWithinBudget(cands, explore.DefaultWorkload(), budget)
+}
+
+// ParetoFront returns the non-dominated candidates, cheapest first.
+func ParetoFront(cands []*Candidate) []*Candidate { return explore.ParetoFront(cands) }
+
+// Image building and the runnable world (internal/core/build).
+type (
+	// Config describes one machine image: compartments, backend,
+	// hardening, allocator policy, scheduler kind, platform.
+	Config = build.Config
+	// Compartment names a compartment and its libraries.
+	Compartment = build.Compartment
+	// Machine is an instantiated image.
+	Machine = build.Machine
+	// World is a server machine wired to a load-generator client.
+	World = build.World
+)
+
+// Allocator policies and scheduler kinds.
+const (
+	AllocGlobal         = build.AllocGlobal
+	AllocPerCompartment = build.AllocPerCompartment
+	AllocPerLibrary     = build.AllocPerLibrary
+	SchedC              = build.SchedC
+	SchedVerified       = build.SchedVerified
+)
+
+// Compartmentalization models from the paper's evaluation.
+var (
+	SingleCompartment = build.SingleCompartment
+	NWOnly            = build.NWOnly
+	NWSchedRest       = build.NWSchedRest
+	NWPlusSched       = build.NWPlusSched
+)
+
+// NewWorld builds a server from cfg plus a default client, connected
+// by a virtual wire and sharing one deterministic event loop.
+func NewWorld(cfg Config) (*World, error) { return build.NewWorld(cfg) }
+
+// Experiment harness (internal/harness): regenerates the paper's
+// evaluation.
+type (
+	IperfResult = harness.IperfResult
+	RedisResult = harness.RedisResult
+	RedisOp     = harness.RedisOp
+)
+
+// Redis operations.
+const (
+	OpSET = harness.OpSET
+	OpGET = harness.OpGET
+)
+
+// RunIperf measures server-side iperf throughput for a configuration.
+func RunIperf(cfg Config, totalBytes, recvBuf int) (*IperfResult, error) {
+	return harness.RunIperf(cfg, totalBytes, recvBuf)
+}
+
+// TraceRing holds recorded domain-crossing events.
+type TraceRing = trace.Ring
+
+// RunIperfTraced is RunIperf with a server-side crossing trace of up
+// to traceCap events (0 disables tracing).
+func RunIperfTraced(cfg Config, totalBytes, recvBuf, traceCap int) (*IperfResult, *TraceRing, error) {
+	return harness.RunIperfTraced(cfg, totalBytes, recvBuf, traceCap)
+}
+
+// RunRedis measures Redis request throughput for a configuration.
+func RunRedis(cfg Config, op RedisOp, payloadBytes, ops int) (*RedisResult, error) {
+	return harness.RunRedis(cfg, op, payloadBytes, ops)
+}

@@ -1,0 +1,289 @@
+// Package httpd is a minimal HTTP/1.0 server over the FlexOS stack —
+// a third application beyond the paper's two workloads, showing the
+// porting surface generalizes: the same gate placeholders, shared
+// buffers and LibC shims carry a different protocol.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"flexos/internal/clock"
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+)
+
+// bufSize is the request/response buffer size.
+const bufSize = 16 << 10
+
+// Handler produces a response body for a path.
+type Handler func(path string) (status int, body []byte)
+
+// Server answers one request per connection (HTTP/1.0 semantics,
+// Connection: close).
+type Server struct {
+	env   *rt.Env
+	lc    *libc.LibC
+	stack *net.Stack
+
+	Port   uint16
+	routes map[string]Handler
+
+	// Requests counts served requests.
+	Requests uint64
+}
+
+// NewServer builds an HTTP server for the app environment.
+func NewServer(env *rt.Env, lc *libc.LibC, st *net.Stack, port uint16) *Server {
+	return &Server{env: env, lc: lc, stack: st, Port: port, routes: make(map[string]Handler)}
+}
+
+// Handle registers a handler for an exact path.
+func (s *Server) Handle(path string, h Handler) { s.routes[path] = h }
+
+// HandleStatic registers a fixed body.
+func (s *Server) HandleStatic(path, contentType string, body []byte) {
+	_ = contentType // single content type in this mini server
+	s.Handle(path, func(string) (int, []byte) { return 200, body })
+}
+
+func (s *Server) call(fnName string, words int, fn func() error) error {
+	return s.env.CallFn("libc", fnName, words, fn)
+}
+
+// Serve accepts and answers connections until maxConns have been
+// served (0 = a single connection).
+func (s *Server) Serve(t *sched.Thread, maxConns int) error {
+	if maxConns <= 0 {
+		maxConns = 1
+	}
+	var listener *net.Socket
+	if err := s.call("listen", 2, func() error {
+		var err error
+		listener, err = s.lc.Listen(s.stack, s.Port, 8)
+		return err
+	}); err != nil {
+		return fmt.Errorf("httpd: %w", err)
+	}
+	for i := 0; i < maxConns; i++ {
+		var conn *net.Socket
+		if err := s.call("accept", 1, func() error {
+			var err error
+			conn, err = s.lc.Accept(t, listener)
+			return err
+		}); err != nil {
+			return fmt.Errorf("httpd accept: %w", err)
+		}
+		if err := s.serveConn(t, conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) serveConn(t *sched.Thread, conn *net.Socket) error {
+	var rx, tx mem.Addr
+	if err := s.call("malloc", 1, func() error {
+		var err error
+		if rx, err = s.lc.MallocShared(bufSize); err != nil {
+			return err
+		}
+		tx, err = s.lc.MallocShared(bufSize)
+		return err
+	}); err != nil {
+		return err
+	}
+	defer func() {
+		_ = s.call("free", 1, func() error {
+			_ = s.lc.FreeShared(rx)
+			return s.lc.FreeShared(tx)
+		})
+	}()
+
+	// Read until the header terminator.
+	rxLen := 0
+	for {
+		view, err := s.env.Bytes(rx, rxLen)
+		if err != nil {
+			return err
+		}
+		if idx := strings.Index(string(view), "\r\n\r\n"); idx >= 0 {
+			break
+		}
+		if rxLen == bufSize {
+			return errors.New("httpd: request too large")
+		}
+		var n int
+		err = s.call("recv", 3, func() error {
+			var err error
+			n, err = s.lc.Recv(t, conn, rx+mem.Addr(rxLen), bufSize-rxLen)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("httpd recv: %w", err)
+		}
+		rxLen += n
+	}
+	view, err := s.env.Bytes(rx, rxLen)
+	if err != nil {
+		return err
+	}
+	s.env.Charge(clock.RESPParseCycles(rxLen))
+	s.env.Hard.OnFrame()
+	s.env.Hard.OnTouch(rxLen)
+	method, path, ok := parseRequestLine(string(view))
+
+	var status int
+	var body []byte
+	switch {
+	case !ok:
+		status, body = 400, []byte("bad request\n")
+	case method != "GET":
+		status, body = 405, []byte("method not allowed\n")
+	default:
+		h, found := s.routes[path]
+		if !found {
+			status, body = 404, []byte("not found\n")
+		} else {
+			status, body = h(path)
+		}
+	}
+	s.Requests++
+
+	head := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		status, statusText(status), len(body))
+	if len(head)+len(body) > bufSize {
+		return errors.New("httpd: response too large")
+	}
+	dst, err := s.env.Bytes(tx, len(head)+len(body))
+	if err != nil {
+		return err
+	}
+	s.env.Charge(clock.RESPParseCycles(len(head)))
+	copy(dst, head)
+	copy(dst[len(head):], body)
+	if err := s.call("send", 3, func() error {
+		_, err := s.lc.Send(t, conn, tx, len(head)+len(body))
+		return err
+	}); err != nil {
+		return fmt.Errorf("httpd send: %w", err)
+	}
+	return s.call("close", 1, func() error { return s.lc.Close(t, conn) })
+}
+
+// parseRequestLine extracts "GET /path HTTP/1.x".
+func parseRequestLine(req string) (method, path string, ok bool) {
+	line, _, found := strings.Cut(req, "\r\n")
+	if !found {
+		return "", "", false
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") || !strings.HasPrefix(parts[1], "/") {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	default:
+		return "Status"
+	}
+}
+
+// Client issues one GET per connection (HTTP/1.0).
+type Client struct {
+	env   *rt.Env
+	lc    *libc.LibC
+	stack *net.Stack
+
+	ServerIP   net.IPAddr
+	ServerPort uint16
+}
+
+// NewClient builds the fetcher.
+func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port uint16) *Client {
+	return &Client{env: env, lc: lc, stack: st, ServerIP: ip, ServerPort: port}
+}
+
+// Get fetches a path and returns the status code and body.
+func (c *Client) Get(t *sched.Thread, path string) (int, []byte, error) {
+	var conn *net.Socket
+	if err := c.env.CallFn("libc", "connect", 3, func() error {
+		var err error
+		conn, err = c.lc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+		return err
+	}); err != nil {
+		return 0, nil, err
+	}
+	var buf mem.Addr
+	if err := c.env.CallFn("libc", "malloc", 1, func() error {
+		var err error
+		buf, err = c.lc.MallocShared(bufSize)
+		return err
+	}); err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		_ = c.env.CallFn("libc", "free", 1, func() error { return c.lc.FreeShared(buf) })
+	}()
+
+	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: flexos\r\n\r\n", path)
+	dst, err := c.env.Bytes(buf, len(req))
+	if err != nil {
+		return 0, nil, err
+	}
+	copy(dst, req)
+	if err := c.env.CallFn("libc", "send", 3, func() error {
+		_, err := c.lc.Send(t, conn, buf, len(req))
+		return err
+	}); err != nil {
+		return 0, nil, err
+	}
+	// Read until EOF (Connection: close).
+	var resp []byte
+	off := 0
+	for {
+		var n int
+		err := c.env.CallFn("libc", "recv", 3, func() error {
+			var err error
+			n, err = c.lc.Recv(t, conn, buf, bufSize)
+			return err
+		})
+		if err != nil {
+			break // io.EOF ends the response
+		}
+		view, verr := c.env.Bytes(buf, n)
+		if verr != nil {
+			return 0, nil, verr
+		}
+		resp = append(resp, view...)
+		off += n
+		if off > 1<<20 {
+			return 0, nil, errors.New("httpd client: response too large")
+		}
+	}
+	_ = c.env.CallFn("libc", "close", 1, func() error { return c.lc.Close(t, conn) })
+
+	head, body, found := strings.Cut(string(resp), "\r\n\r\n")
+	if !found {
+		return 0, nil, errors.New("httpd client: malformed response")
+	}
+	var status int
+	if _, err := fmt.Sscanf(head, "HTTP/1.0 %d", &status); err != nil {
+		return 0, nil, fmt.Errorf("httpd client: bad status line: %q", head)
+	}
+	return status, []byte(body), nil
+}

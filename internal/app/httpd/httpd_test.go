@@ -1,0 +1,110 @@
+package httpd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"flexos/internal/app/httpd"
+	"flexos/internal/core/build"
+	"flexos/internal/core/gate"
+	"flexos/internal/sched"
+)
+
+func serve(t *testing.T, cfg build.Config, conns int, client func(th *sched.Thread, c *httpd.Client)) (*build.World, *httpd.Server) {
+	t.Helper()
+	w, err := build.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpd.NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 80)
+	srv.HandleStatic("/", "text/plain", []byte("hello from flexos\n"))
+	srv.HandleStatic("/big", "text/plain", bytes.Repeat([]byte("x"), 8000))
+	srv.Handle("/echo", func(path string) (int, []byte) { return 200, []byte(path) })
+	w.Sched.Spawn("httpd", w.Server.CPU, func(th *sched.Thread) {
+		if err := srv.Serve(th, conns); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	})
+	w.Sched.Spawn("client", w.Client.CPU, func(th *sched.Thread) {
+		c := httpd.NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+			w.Server.Stack.IP(), 80)
+		client(th, c)
+	})
+	if err := w.Sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w, srv
+}
+
+func TestGetRoot(t *testing.T) {
+	_, srv := serve(t, build.Config{}, 1, func(th *sched.Thread, c *httpd.Client) {
+		status, body, err := c.Get(th, "/")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if status != 200 || string(body) != "hello from flexos\n" {
+			t.Errorf("GET / = %d %q", status, body)
+		}
+	})
+	if srv.Requests != 1 {
+		t.Fatalf("Requests = %d", srv.Requests)
+	}
+}
+
+func TestStatusCodes(t *testing.T) {
+	serve(t, build.Config{}, 2, func(th *sched.Thread, c *httpd.Client) {
+		status, _, err := c.Get(th, "/missing")
+		if err != nil || status != 404 {
+			t.Errorf("GET /missing = %d, %v", status, err)
+		}
+		status, body, err := c.Get(th, "/echo")
+		if err != nil || status != 200 || string(body) != "/echo" {
+			t.Errorf("GET /echo = %d %q, %v", status, body, err)
+		}
+	})
+}
+
+func TestLargeBody(t *testing.T) {
+	serve(t, build.Config{}, 1, func(th *sched.Thread, c *httpd.Client) {
+		status, body, err := c.Get(th, "/big")
+		if err != nil || status != 200 || len(body) != 8000 {
+			t.Errorf("GET /big = %d, %d bytes, %v", status, len(body), err)
+		}
+	})
+}
+
+func TestOverMPKIsolation(t *testing.T) {
+	cfg := build.Config{
+		Compartments: build.NWOnly(),
+		Backend:      gate.MPKShared,
+		Alloc:        build.AllocPerCompartment,
+	}
+	w, _ := serve(t, cfg, 3, func(th *sched.Thread, c *httpd.Client) {
+		for i := 0; i < 3; i++ {
+			status, _, err := c.Get(th, "/")
+			if err != nil || status != 200 {
+				t.Errorf("request %d: %d, %v", i, status, err)
+			}
+		}
+	})
+	if w.Server.Registry.TotalCrossings() == 0 {
+		t.Fatal("no crossings under isolation")
+	}
+}
+
+func TestManySequentialConnections(t *testing.T) {
+	const n = 10
+	_, srv := serve(t, build.Config{}, n, func(th *sched.Thread, c *httpd.Client) {
+		for i := 0; i < n; i++ {
+			status, _, err := c.Get(th, "/echo")
+			if err != nil || status != 200 {
+				t.Errorf("conn %d: %d, %v", i, status, err)
+				return
+			}
+		}
+	})
+	if srv.Requests != n {
+		t.Fatalf("Requests = %d, want %d", srv.Requests, n)
+	}
+}

@@ -1,0 +1,166 @@
+// Package iperf implements the iperf-style TCP throughput workload of
+// the paper's Fig. 3 and Table 1: a server that drains a connection
+// with a configurable receive-buffer size, and a client that blasts
+// bulk data at it. Throughput is measured in virtual time on the
+// server machine, which is the bottleneck (as in the paper, where the
+// iperf client measures what the server-side configuration sustains).
+package iperf
+
+import (
+	"fmt"
+	"io"
+
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+)
+
+// appWorkPerRecv is the (tiny) per-recv bookkeeping iperf itself does.
+const appWorkPerRecv = 12
+
+// Server drains one connection.
+type Server struct {
+	env   *rt.Env
+	libc  *libc.LibC
+	stack *net.Stack
+
+	// Port is the listening port.
+	Port uint16
+	// RecvBuf is the size of the buffer passed to recv — the x-axis
+	// of Fig. 3.
+	RecvBuf int
+
+	// BytesReceived is the payload total after Run.
+	BytesReceived uint64
+	// Recvs counts recv() calls.
+	Recvs uint64
+}
+
+// NewServer builds an iperf server for the app library environment.
+func NewServer(env *rt.Env, lc *libc.LibC, st *net.Stack, port uint16, recvBuf int) *Server {
+	return &Server{env: env, libc: lc, stack: st, Port: port, RecvBuf: recvBuf}
+}
+
+// call routes a named app -> libc gate crossing.
+func (s *Server) call(fnName string, words int, fn func() error) error {
+	return s.env.CallFn("libc", fnName, words, fn)
+}
+
+// Run accepts one connection and drains it to EOF.
+func (s *Server) Run(t *sched.Thread) error {
+	var listener *net.Socket
+	err := s.call("listen", 2, func() error {
+		var err error
+		listener, err = s.libc.Listen(s.stack, s.Port, 4)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("iperf server: %w", err)
+	}
+	var conn *net.Socket
+	if err := s.call("accept", 1, func() error {
+		var err error
+		conn, err = s.libc.Accept(t, listener)
+		return err
+	}); err != nil {
+		return fmt.Errorf("iperf server accept: %w", err)
+	}
+	// The recv buffer crosses the app/libc/netstack boundary: shared
+	// data, allocated in the window.
+	var buf mem.Addr
+	if err := s.call("malloc", 1, func() error {
+		var err error
+		buf, err = s.libc.MallocShared(s.RecvBuf)
+		return err
+	}); err != nil {
+		return err
+	}
+	for {
+		var n int
+		err := s.call("recv", 3, func() error {
+			var err error
+			n, err = s.libc.Recv(t, conn, buf, s.RecvBuf)
+			return err
+		})
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("iperf server recv: %w", err)
+		}
+		s.env.Charge(appWorkPerRecv)
+		s.BytesReceived += uint64(n)
+		s.Recvs++
+	}
+	return s.call("free", 1, func() error { return s.libc.FreeShared(buf) })
+}
+
+// Client sends Total bytes in WriteSize chunks and closes.
+type Client struct {
+	env   *rt.Env
+	libc  *libc.LibC
+	stack *net.Stack
+
+	ServerIP   net.IPAddr
+	ServerPort uint16
+	Total      int
+	WriteSize  int
+
+	BytesSent uint64
+}
+
+// NewClient builds the load generator.
+func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port uint16, total, writeSize int) *Client {
+	if writeSize <= 0 {
+		writeSize = 64 << 10
+	}
+	return &Client{env: env, libc: lc, stack: st, ServerIP: ip, ServerPort: port, Total: total, WriteSize: writeSize}
+}
+
+// Run connects, sends Total bytes, and closes the connection.
+func (c *Client) Run(t *sched.Thread) error {
+	var conn *net.Socket
+	err := c.env.CallFn("libc", "connect", 3, func() error {
+		var err error
+		conn, err = c.libc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("iperf client connect: %w", err)
+	}
+	var buf mem.Addr
+	if err := c.env.CallFn("libc", "malloc", 1, func() error {
+		var err error
+		buf, err = c.libc.MallocShared(c.WriteSize)
+		return err
+	}); err != nil {
+		return err
+	}
+	// Fill the payload pattern once.
+	if err := c.env.CallFn("libc", "memset", 3, func() error {
+		return c.libc.Memset(buf, 'x', c.WriteSize)
+	}); err != nil {
+		return err
+	}
+	remaining := c.Total
+	for remaining > 0 {
+		chunk := c.WriteSize
+		if chunk > remaining {
+			chunk = remaining
+		}
+		var n int
+		err := c.env.CallFn("libc", "send", 3, func() error {
+			var err error
+			n, err = c.libc.Send(t, conn, buf, chunk)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("iperf client send: %w", err)
+		}
+		remaining -= n
+		c.BytesSent += uint64(n)
+	}
+	return c.env.CallFn("libc", "close", 1, func() error { return c.libc.Close(t, conn) })
+}

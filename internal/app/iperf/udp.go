@@ -1,0 +1,148 @@
+package iperf
+
+import (
+	"fmt"
+
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+)
+
+// UDPServer counts datagram payload until an empty datagram (the
+// client's end-of-stream marker) arrives — iperf's UDP mode.
+type UDPServer struct {
+	env   *rt.Env
+	libc  *libc.LibC
+	stack *net.Stack
+
+	Port    uint16
+	RecvBuf int
+
+	BytesReceived uint64
+	Datagrams     uint64
+}
+
+// NewUDPServer builds the UDP sink.
+func NewUDPServer(env *rt.Env, lc *libc.LibC, st *net.Stack, port uint16, recvBuf int) *UDPServer {
+	if recvBuf <= 0 || recvBuf > net.MaxDatagram {
+		recvBuf = net.MaxDatagram
+	}
+	return &UDPServer{env: env, libc: lc, stack: st, Port: port, RecvBuf: recvBuf}
+}
+
+// Run binds and drains datagrams until the end marker.
+func (s *UDPServer) Run(t *sched.Thread) error {
+	var sock *net.UDPSocket
+	err := s.env.CallFn("libc", "udp_bind", 2, func() error {
+		var err error
+		sock, err = s.libc.UDPBind(s.stack, s.Port)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("iperf udp server: %w", err)
+	}
+	var buf mem.Addr
+	if err := s.env.CallFn("libc", "malloc", 1, func() error {
+		var err error
+		buf, err = s.libc.MallocShared(s.RecvBuf)
+		return err
+	}); err != nil {
+		return err
+	}
+	for {
+		var n int
+		err := s.env.CallFn("libc", "recvfrom", 3, func() error {
+			var err error
+			n, _, _, err = s.libc.RecvFrom(t, sock, buf, s.RecvBuf)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("iperf udp server recv: %w", err)
+		}
+		if n == 0 {
+			break // end-of-stream marker
+		}
+		s.env.Charge(appWorkPerRecv)
+		s.BytesReceived += uint64(n)
+		s.Datagrams++
+	}
+	_ = s.env.CallFn("libc", "free", 1, func() error { return s.libc.FreeShared(buf) })
+	return s.env.CallFn("libc", "udp_close", 1, func() error { return s.libc.UDPClose(sock) })
+}
+
+// UDPClient blasts Total bytes in Datagram-sized chunks, then an empty
+// end marker. UDP has no flow control: with a fast sender and a slow
+// receiver, datagrams drop (visible in the socket's Dropped counter).
+type UDPClient struct {
+	env   *rt.Env
+	libc  *libc.LibC
+	stack *net.Stack
+
+	ServerIP   net.IPAddr
+	ServerPort uint16
+	Total      int
+	Datagram   int
+	// PacingYield makes the client yield between datagrams so the
+	// receiver keeps up on the lossless wire.
+	PacingYield bool
+
+	BytesSent uint64
+}
+
+// NewUDPClient builds the load generator.
+func NewUDPClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port uint16, total, datagram int) *UDPClient {
+	if datagram <= 0 || datagram > net.MaxDatagram {
+		datagram = net.MaxDatagram
+	}
+	return &UDPClient{env: env, libc: lc, stack: st, ServerIP: ip, ServerPort: port,
+		Total: total, Datagram: datagram, PacingYield: true}
+}
+
+// Run sends the stream and the end marker.
+func (c *UDPClient) Run(t *sched.Thread) error {
+	var sock *net.UDPSocket
+	err := c.env.CallFn("libc", "udp_bind", 2, func() error {
+		var err error
+		sock, err = c.libc.UDPBind(c.stack, 0)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("iperf udp client: %w", err)
+	}
+	var buf mem.Addr
+	if err := c.env.CallFn("libc", "malloc", 1, func() error {
+		var err error
+		if buf, err = c.libc.MallocShared(c.Datagram); err != nil {
+			return err
+		}
+		return c.libc.Memset(buf, 'u', c.Datagram)
+	}); err != nil {
+		return err
+	}
+	remaining := c.Total
+	for remaining > 0 {
+		chunk := c.Datagram
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if err := c.env.CallFn("libc", "sendto", 4, func() error {
+			return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf, chunk)
+		}); err != nil {
+			return fmt.Errorf("iperf udp client send: %w", err)
+		}
+		remaining -= chunk
+		c.BytesSent += uint64(chunk)
+		if c.PacingYield {
+			t.Yield()
+		}
+	}
+	// End marker.
+	if err := c.env.CallFn("libc", "sendto", 4, func() error {
+		return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf, 0)
+	}); err != nil {
+		return err
+	}
+	return c.env.CallFn("libc", "udp_close", 1, func() error { return c.libc.UDPClose(sock) })
+}

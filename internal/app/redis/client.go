@@ -1,0 +1,213 @@
+package redis
+
+import (
+	"errors"
+	"fmt"
+
+	"flexos/internal/clock"
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+)
+
+// Client is a benchmarking RESP client (one outstanding request, like
+// redis-benchmark with pipeline=1).
+type Client struct {
+	env   *rt.Env
+	lc    *libc.LibC
+	stack *net.Stack
+
+	ServerIP   net.IPAddr
+	ServerPort uint16
+
+	conn    *net.Socket
+	rx, tx  mem.Addr
+	rxLen   int
+	bufSize int
+}
+
+// NewClient builds a client for the app environment of the client
+// machine.
+func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port uint16) *Client {
+	return &Client{env: env, lc: lc, stack: st, ServerIP: ip, ServerPort: port, bufSize: defaultBufSize}
+}
+
+// Connect opens the connection and allocates buffers.
+func (c *Client) Connect(t *sched.Thread) error {
+	err := c.env.CallFn("libc", "connect", 3, func() error {
+		var err error
+		c.conn, err = c.lc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("redis client: %w", err)
+	}
+	return c.env.CallFn("libc", "malloc", 1, func() error {
+		if c.rx, err = c.lc.MallocShared(c.bufSize); err != nil {
+			return err
+		}
+		c.tx, err = c.lc.MallocShared(c.bufSize)
+		return err
+	})
+}
+
+// Close shuts the connection down.
+func (c *Client) Close(t *sched.Thread) error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.env.CallFn("libc", "close", 1, func() error { return c.lc.Close(t, c.conn) })
+}
+
+// Do issues one command and returns a copy of the raw RESP reply.
+func (c *Client) Do(t *sched.Thread, args ...[]byte) ([]byte, error) {
+	if c.conn == nil {
+		return nil, errors.New("redis client: not connected")
+	}
+	req := encodeCommand(nil, args...)
+	if len(req) > c.bufSize {
+		return nil, fmt.Errorf("redis client: request exceeds %d bytes", c.bufSize)
+	}
+	dst, err := c.env.Bytes(c.tx, len(req))
+	if err != nil {
+		return nil, err
+	}
+	c.env.Charge(clock.RESPParseCycles(len(req)))
+	c.env.Hard.OnTouch(len(req))
+	copy(dst, req)
+	if err := c.env.CallFn("libc", "send", 3, func() error {
+		_, err := c.lc.Send(t, c.conn, c.tx, len(req))
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("redis client send: %w", err)
+	}
+	for {
+		view, err := c.env.Bytes(c.rx, c.rxLen)
+		if err != nil {
+			return nil, err
+		}
+		l, perr := replyLen(view)
+		if perr == nil {
+			reply := append([]byte(nil), view[:l]...)
+			if remain := c.rxLen - l; remain > 0 {
+				copy(view, view[l:c.rxLen])
+			}
+			c.rxLen -= l
+			return reply, nil
+		}
+		if !errors.Is(perr, errIncomplete) {
+			return nil, perr
+		}
+		var n int
+		err = c.env.CallFn("libc", "recv", 3, func() error {
+			var err error
+			n, err = c.lc.Recv(t, c.conn, c.rx+mem.Addr(c.rxLen), c.bufSize-c.rxLen)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("redis client recv: %w", err)
+		}
+		c.rxLen += n
+	}
+}
+
+// DoPipelined issues all commands back to back and then collects one
+// reply per command — redis-benchmark's -P mode. The combined request
+// and reply streams must each fit the client buffer.
+func (c *Client) DoPipelined(t *sched.Thread, cmds [][][]byte) ([][]byte, error) {
+	if c.conn == nil {
+		return nil, errors.New("redis client: not connected")
+	}
+	var req []byte
+	for _, cmd := range cmds {
+		req = encodeCommand(req, cmd...)
+	}
+	if len(req) > c.bufSize {
+		return nil, fmt.Errorf("redis client: pipelined request exceeds %d bytes", c.bufSize)
+	}
+	dst, err := c.env.Bytes(c.tx, len(req))
+	if err != nil {
+		return nil, err
+	}
+	c.env.Charge(clock.RESPParseCycles(len(req)))
+	c.env.Hard.OnTouch(len(req))
+	copy(dst, req)
+	if err := c.env.CallFn("libc", "send", 3, func() error {
+		_, err := c.lc.Send(t, c.conn, c.tx, len(req))
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("redis client send: %w", err)
+	}
+	replies := make([][]byte, 0, len(cmds))
+	for len(replies) < len(cmds) {
+		view, err := c.env.Bytes(c.rx, c.rxLen)
+		if err != nil {
+			return nil, err
+		}
+		consumed := 0
+		for len(replies) < len(cmds) {
+			l, perr := replyLen(view[consumed:c.rxLen])
+			if errors.Is(perr, errIncomplete) {
+				break
+			}
+			if perr != nil {
+				return nil, perr
+			}
+			replies = append(replies, append([]byte(nil), view[consumed:consumed+l]...))
+			consumed += l
+		}
+		if consumed > 0 {
+			if remain := c.rxLen - consumed; remain > 0 {
+				copy(view, view[consumed:c.rxLen])
+			}
+			c.rxLen -= consumed
+		}
+		if len(replies) == len(cmds) {
+			break
+		}
+		var n int
+		err = c.env.CallFn("libc", "recv", 3, func() error {
+			var err error
+			n, err = c.lc.Recv(t, c.conn, c.rx+mem.Addr(c.rxLen), c.bufSize-c.rxLen)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("redis client recv: %w", err)
+		}
+		c.rxLen += n
+	}
+	return replies, nil
+}
+
+// Set issues SET key value.
+func (c *Client) Set(t *sched.Thread, key string, value []byte) error {
+	reply, err := c.Do(t, []byte("SET"), []byte(key), value)
+	if err != nil {
+		return err
+	}
+	if string(reply) != "+OK\r\n" {
+		return fmt.Errorf("redis client: SET reply %q", reply)
+	}
+	return nil
+}
+
+// Get issues GET key; missing keys return (nil, false, nil).
+func (c *Client) Get(t *sched.Thread, key string) ([]byte, bool, error) {
+	reply, err := c.Do(t, []byte("GET"), []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if string(reply) == "$-1\r\n" {
+		return nil, false, nil
+	}
+	if len(reply) == 0 || reply[0] != '$' {
+		return nil, false, fmt.Errorf("redis client: GET reply %q", reply)
+	}
+	sz, pos, err := parseInt(reply, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	return reply[pos : pos+int(sz)], true, nil
+}

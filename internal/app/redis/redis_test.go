@@ -1,0 +1,348 @@
+package redis
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"flexos/internal/core/build"
+	"flexos/internal/core/gate"
+	"flexos/internal/sched"
+)
+
+// --- RESP unit tests -------------------------------------------------
+
+func TestParseCommandSimple(t *testing.T) {
+	in := []byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n")
+	args, consumed, err := parseCommand(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(in) {
+		t.Fatalf("consumed %d, want %d", consumed, len(in))
+	}
+	if len(args) != 3 || string(args[0]) != "SET" || string(args[2]) != "hello" {
+		t.Fatalf("args = %q", args)
+	}
+}
+
+func TestParseCommandIncremental(t *testing.T) {
+	full := []byte("*2\r\n$4\r\nECHO\r\n$3\r\nabc\r\n")
+	for i := 0; i < len(full); i++ {
+		if _, _, err := parseCommand(full[:i]); !errors.Is(err, errIncomplete) {
+			t.Fatalf("prefix %d: err = %v, want incomplete", i, err)
+		}
+	}
+	if _, _, err := parseCommand(full); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCommandRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		[]byte("PING\r\n"),             // inline commands unsupported
+		[]byte("*0\r\n"),               // zero args
+		[]byte("*-1\r\n"),              // negative count
+		[]byte("*1\r\nX3\r\nabc\r\n"),  // not a bulk
+		[]byte("*1\r\n$-5\r\n"),        // negative bulk
+		[]byte("*1\r\n$3\r\nabcX\r\n"), // missing CRLF
+		[]byte("*1\r\n$x\r\n"),         // non-numeric
+		[]byte("*999999\r\n"),          // absurd arg count
+	}
+	for _, in := range bad {
+		if _, _, err := parseCommand(in); err == nil || errors.Is(err, errIncomplete) {
+			t.Errorf("parse(%q) err = %v, want hard error", in, err)
+		}
+	}
+}
+
+func TestEncodeParseRoundTripProperty(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		if len(a) == 0 {
+			a = []byte("X")
+		}
+		if len(a) > maxBulk || len(b) > maxBulk || len(c) > maxBulk {
+			return true
+		}
+		enc := encodeCommand(nil, a, b, c)
+		args, consumed, err := parseCommand(enc)
+		if err != nil || consumed != len(enc) || len(args) != 3 {
+			return false
+		}
+		return bytes.Equal(args[0], a) && bytes.Equal(args[1], b) && bytes.Equal(args[2], c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyLen(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"+OK\r\n", 5},
+		{"-ERR boom\r\n", 11},
+		{":42\r\n", 5},
+		{"$3\r\nabc\r\n", 9},
+		{"$-1\r\n", 5},
+		{"*2\r\n:1\r\n:2\r\n", 12},
+	}
+	for _, tc := range cases {
+		got, err := replyLen([]byte(tc.in))
+		if err != nil || got != tc.want {
+			t.Errorf("replyLen(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"", "+OK", "$5\r\nab", "*2\r\n:1\r\n"} {
+		if _, err := replyLen([]byte(in)); !errors.Is(err, errIncomplete) {
+			t.Errorf("replyLen(%q) err = %v, want incomplete", in, err)
+		}
+	}
+	if _, err := replyLen([]byte("?what\r\n")); err == nil {
+		t.Error("bad reply type accepted")
+	}
+}
+
+// --- end-to-end server tests ------------------------------------------
+
+// world spins up a redis server and runs clientBody against it.
+func world(t *testing.T, cfg build.Config, clientBody func(th *sched.Thread, c *Client)) (*build.World, *Server) {
+	t.Helper()
+	w, err := build.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 6379)
+	w.Sched.Spawn("redis-server", w.Server.CPU, func(th *sched.Thread) {
+		if err := srv.Run(th); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	})
+	w.Sched.Spawn("redis-client", w.Client.CPU, func(th *sched.Thread) {
+		c := NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+			w.Server.Stack.IP(), 6379)
+		if err := c.Connect(th); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		clientBody(th, c)
+		if err := c.Close(th); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	if err := w.Sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w, srv
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("v"), 500)
+	_, srv := world(t, build.Config{}, func(th *sched.Thread, c *Client) {
+		if err := c.Set(th, "key:1", payload); err != nil {
+			t.Error(err)
+			return
+		}
+		got, ok, err := c.Get(th, "key:1")
+		if err != nil || !ok {
+			t.Errorf("GET = %v, %v", ok, err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("GET returned %d bytes, want %d", len(got), len(payload))
+		}
+		if _, ok, _ := c.Get(th, "missing"); ok {
+			t.Error("missing key found")
+		}
+	})
+	if srv.Commands != 3 {
+		t.Fatalf("Commands = %d, want 3", srv.Commands)
+	}
+	if srv.Store().Len() != 1 {
+		t.Fatalf("store len = %d", srv.Store().Len())
+	}
+}
+
+func TestCommandSuite(t *testing.T) {
+	do := func(th *sched.Thread, c *Client, want string, args ...string) {
+		t.Helper()
+		bs := make([][]byte, len(args))
+		for i, a := range args {
+			bs[i] = []byte(a)
+		}
+		reply, err := c.Do(th, bs...)
+		if err != nil {
+			t.Errorf("%v: %v", args, err)
+			return
+		}
+		if string(reply) != want {
+			t.Errorf("%v = %q, want %q", args, reply, want)
+		}
+	}
+	world(t, build.Config{}, func(th *sched.Thread, c *Client) {
+		do(th, c, "+PONG\r\n", "PING")
+		do(th, c, "$5\r\nhello\r\n", "ECHO", "hello")
+		do(th, c, "+OK\r\n", "set", "k", "v1") // case-insensitive
+		do(th, c, ":1\r\n", "EXISTS", "k")
+		do(th, c, ":0\r\n", "EXISTS", "nope")
+		do(th, c, ":3\r\n", "APPEND", "k", "x") // "v1" (2 bytes) + "x" = 3
+		do(th, c, ":3\r\n", "STRLEN", "k")
+		do(th, c, ":1\r\n", "DEL", "k")
+		do(th, c, ":0\r\n", "DEL", "k")
+		do(th, c, ":1\r\n", "INCR", "ctr")
+		do(th, c, ":2\r\n", "INCR", "ctr")
+		do(th, c, ":1\r\n", "DECR", "ctr")
+		do(th, c, ":11\r\n", "INCRBY", "ctr", "10")
+		do(th, c, ":1\r\n", "DBSIZE")
+		do(th, c, "+OK\r\n", "FLUSHALL")
+		do(th, c, ":0\r\n", "DBSIZE")
+		// Errors.
+		do(th, c, "-ERR unknown command 'BOGUS'\r\n", "BOGUS")
+		do(th, c, "-ERR wrong number of arguments for 'GET' command\r\n", "GET")
+		do(th, c, "+OK\r\n", "SET", "s", "notanumber")
+		do(th, c, "-ERR value is not an integer or out of range\r\n", "INCR", "s")
+	})
+}
+
+func TestAppendSemantics(t *testing.T) {
+	world(t, build.Config{}, func(th *sched.Thread, c *Client) {
+		r, err := c.Do(th, []byte("APPEND"), []byte("a"), []byte("12345"))
+		if err != nil || string(r) != ":5\r\n" {
+			t.Errorf("APPEND new = %q, %v", r, err)
+		}
+		r, err = c.Do(th, []byte("APPEND"), []byte("a"), []byte("678"))
+		if err != nil || string(r) != ":8\r\n" {
+			t.Errorf("APPEND existing = %q, %v", r, err)
+		}
+		got, ok, err := c.Get(th, "a")
+		if err != nil || !ok || string(got) != "12345678" {
+			t.Errorf("GET after APPEND = %q, %v, %v", got, ok, err)
+		}
+	})
+}
+
+func TestManySmallRequests(t *testing.T) {
+	// Exercise buffering/compaction across many sequential commands.
+	const n = 200
+	_, srv := world(t, build.Config{}, func(th *sched.Thread, c *Client) {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key:%d", i%10)
+			if err := c.Set(th, key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			got, ok, err := c.Get(th, key)
+			if err != nil || !ok {
+				t.Errorf("get %d: %v %v", i, ok, err)
+				return
+			}
+			if string(got) != fmt.Sprintf("value-%d", i) {
+				t.Errorf("get %d = %q", i, got)
+			}
+		}
+	})
+	if srv.Commands != 2*n {
+		t.Fatalf("Commands = %d, want %d", srv.Commands, 2*n)
+	}
+}
+
+func TestLargeValue(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 1000) // 8 KB
+	world(t, build.Config{}, func(th *sched.Thread, c *Client) {
+		if err := c.Set(th, "big", payload); err != nil {
+			t.Error(err)
+			return
+		}
+		got, ok, err := c.Get(th, "big")
+		if err != nil || !ok || !bytes.Equal(got, payload) {
+			t.Errorf("big value mismatch: %d bytes, ok=%v, err=%v", len(got), ok, err)
+		}
+	})
+}
+
+func TestMultipleConcurrentClients(t *testing.T) {
+	// Two clients served by two server threads share one store.
+	w, err := build.NewWorld(build.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 6379)
+	listener, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 3
+	for i := 0; i < clients; i++ {
+		w.Sched.Spawn(fmt.Sprintf("server-worker-%d", i), w.Server.CPU, func(th *sched.Thread) {
+			conn, err := srv.Accept(th, listener)
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			if err := srv.ServeConn(th, conn); err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		})
+	}
+	for i := 0; i < clients; i++ {
+		i := i
+		w.Sched.Spawn(fmt.Sprintf("client-%d", i), w.Client.CPU, func(th *sched.Thread) {
+			c := NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+				w.Server.Stack.IP(), 6379)
+			if err := c.Connect(th); err != nil {
+				t.Errorf("client %d connect: %v", i, err)
+				return
+			}
+			key := fmt.Sprintf("client:%d", i)
+			for round := 0; round < 10; round++ {
+				val := []byte(fmt.Sprintf("v-%d-%d", i, round))
+				if err := c.Set(th, key, val); err != nil {
+					t.Errorf("client %d set: %v", i, err)
+					return
+				}
+				got, ok, err := c.Get(th, key)
+				if err != nil || !ok || !bytes.Equal(got, val) {
+					t.Errorf("client %d get = %q, %v, %v", i, got, ok, err)
+					return
+				}
+				th.Yield() // interleave with the other clients
+			}
+			_ = c.Close(th)
+		})
+	}
+	if err := w.Sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One key per client, all in the shared store.
+	if srv.Store().Len() != clients {
+		t.Fatalf("store len = %d, want %d", srv.Store().Len(), clients)
+	}
+	if srv.Commands != clients*20 {
+		t.Fatalf("Commands = %d, want %d", srv.Commands, clients*20)
+	}
+}
+
+func TestRedisOverMPKIsolation(t *testing.T) {
+	cfg := build.Config{
+		Compartments: build.NWSchedRest(),
+		Backend:      gate.MPKShared,
+		Alloc:        build.AllocPerCompartment,
+	}
+	w, srv := world(t, cfg, func(th *sched.Thread, c *Client) {
+		if err := c.Set(th, "k", []byte("v")); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := c.Get(th, "k"); err != nil {
+			t.Error(err)
+		}
+	})
+	if srv.Commands != 2 {
+		t.Fatalf("Commands = %d", srv.Commands)
+	}
+	if w.Server.Registry.TotalCrossings() == 0 {
+		t.Fatal("no crossings under MPK isolation")
+	}
+}

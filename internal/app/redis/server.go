@@ -1,0 +1,389 @@
+package redis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"flexos/internal/clock"
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+)
+
+// defaultBufSize is the request/reply buffer size.
+const defaultBufSize = 16 << 10
+
+// Server is the RESP server: one connection at a time, loop until EOF.
+type Server struct {
+	env   *rt.Env
+	lc    *libc.LibC
+	stack *net.Stack
+
+	Port  uint16
+	store *Store
+
+	bufSize int
+
+	// Commands counts executed commands.
+	Commands uint64
+}
+
+// NewServer builds a Redis server for the app environment.
+func NewServer(env *rt.Env, lc *libc.LibC, st *net.Stack, port uint16) *Server {
+	s := &Server{env: env, lc: lc, stack: st, Port: port, bufSize: defaultBufSize}
+	s.store = NewStore(env, lc)
+	return s
+}
+
+// Store exposes the dictionary (tests and examples).
+func (s *Server) Store() *Store { return s.store }
+
+// call routes a named app -> libc gate crossing.
+func (s *Server) call(fnName string, words int, fn func() error) error {
+	return s.env.CallFn("libc", fnName, words, fn)
+}
+
+// Listen binds the server's listening socket.
+func (s *Server) Listen() (*net.Socket, error) {
+	var listener *net.Socket
+	err := s.call("listen", 2, func() error {
+		var err error
+		listener, err = s.lc.Listen(s.stack, s.Port, 4)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("redis server: %w", err)
+	}
+	return listener, nil
+}
+
+// Accept blocks for the next client connection.
+func (s *Server) Accept(t *sched.Thread, listener *net.Socket) (*net.Socket, error) {
+	var conn *net.Socket
+	err := s.call("accept", 1, func() error {
+		var err error
+		conn, err = s.lc.Accept(t, listener)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("redis server accept: %w", err)
+	}
+	return conn, nil
+}
+
+// Run serves one connection to EOF (listen + accept + serve), the
+// single-client convenience used by the benchmarks.
+func (s *Server) Run(t *sched.Thread) error {
+	listener, err := s.Listen()
+	if err != nil {
+		return err
+	}
+	conn, err := s.Accept(t, listener)
+	if err != nil {
+		return err
+	}
+	return s.ServeConn(t, conn)
+}
+
+// ServeConn serves one established connection until EOF. Connections
+// share the server's store but use per-connection buffers, so multiple
+// ServeConn threads may run concurrently.
+func (s *Server) ServeConn(t *sched.Thread, conn *net.Socket) error {
+	c := &connState{srv: s}
+	if err := c.allocBuffers(); err != nil {
+		return err
+	}
+	defer c.freeBuffers()
+	return c.serve(t, conn)
+}
+
+// connState is one connection's buffers and parser state.
+type connState struct {
+	srv    *Server
+	rx, tx mem.Addr
+	rxLen  int
+}
+
+func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
+	s := c.srv
+	// Replies accumulate in the tx buffer and flush once per event-loop
+	// iteration (when the input drains or the buffer fills), like the
+	// real Redis output buffer — essential under pipelined clients.
+	txOff := 0
+	flush := func() error {
+		if txOff == 0 {
+			return nil
+		}
+		n := txOff
+		txOff = 0
+		return s.call("send", 3, func() error {
+			_, err := s.lc.Send(t, conn, c.tx, n)
+			return err
+		})
+	}
+	for {
+		view, err := s.env.Bytes(c.rx, c.rxLen)
+		if err != nil {
+			return err
+		}
+		spans, consumed, perr := parseCommandSpans(view)
+		if errors.Is(perr, errIncomplete) {
+			if err := flush(); err != nil {
+				return fmt.Errorf("redis server send: %w", err)
+			}
+			if c.rxLen == s.bufSize {
+				return fmt.Errorf("redis server: request exceeds %d bytes", s.bufSize)
+			}
+			var n int
+			err := s.call("recv", 3, func() error {
+				var err error
+				n, err = s.lc.Recv(t, conn, c.rx+mem.Addr(c.rxLen), s.bufSize-c.rxLen)
+				return err
+			})
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("redis server recv: %w", err)
+			}
+			c.rxLen += n
+			continue
+		}
+		// Protocol parse work is application code.
+		s.env.Charge(clock.RESPParseCycles(max(consumed, 1)))
+		s.env.Hard.OnFrame()
+		s.env.Hard.OnTouch(max(consumed, 1))
+		if perr != nil {
+			n, werr := c.writeError(txOff, fmt.Sprintf("ERR protocol error: %v", perr))
+			if werr != nil {
+				return werr
+			}
+			txOff = n
+			if err := flush(); err != nil {
+				return fmt.Errorf("redis server send: %w", err)
+			}
+			return fmt.Errorf("redis server: %v", perr)
+		}
+		txOff, err = c.execute(spans, view, txOff)
+		if err != nil {
+			return err
+		}
+		s.Commands++
+		// Flush early if the next reply might not fit.
+		if txOff > s.bufSize/2 {
+			if err := flush(); err != nil {
+				return fmt.Errorf("redis server send: %w", err)
+			}
+		}
+		// Compact the consumed prefix.
+		if consumed > 0 {
+			if remain := c.rxLen - consumed; remain > 0 {
+				s.env.Charge(clock.CopyCycles(remain))
+				copy(view, view[consumed:c.rxLen])
+			}
+			c.rxLen -= consumed
+		}
+	}
+}
+
+func (c *connState) allocBuffers() error {
+	s := c.srv
+	return s.call("malloc", 1, func() error {
+		var err error
+		if c.rx, err = s.lc.MallocShared(s.bufSize); err != nil {
+			return err
+		}
+		c.tx, err = s.lc.MallocShared(s.bufSize)
+		return err
+	})
+}
+
+func (c *connState) freeBuffers() {
+	s := c.srv
+	_ = s.call("free", 1, func() error {
+		if c.rx != mem.NilAddr {
+			_ = s.lc.FreeShared(c.rx)
+		}
+		if c.tx != mem.NilAddr {
+			_ = s.lc.FreeShared(c.tx)
+		}
+		c.rx, c.tx = mem.NilAddr, mem.NilAddr
+		return nil
+	})
+}
+
+// writeGo copies protocol scaffolding (a Go scratch slice) into the tx
+// buffer at off, charging the app.
+func (c *connState) writeGo(off int, b []byte) (int, error) {
+	s := c.srv
+	if off+len(b) > s.bufSize {
+		return 0, fmt.Errorf("redis server: reply exceeds %d bytes", s.bufSize)
+	}
+	dst, err := s.env.Bytes(c.tx+mem.Addr(off), len(b))
+	if err != nil {
+		return 0, err
+	}
+	s.env.Charge(clock.RESPParseCycles(len(b)))
+	s.env.Hard.OnTouch(len(b))
+	copy(dst, b)
+	return off + len(b), nil
+}
+
+// writeVal moves stored payload into the reply through LibC.
+func (c *connState) writeVal(off int, addr mem.Addr, n int) (int, error) {
+	s := c.srv
+	if off+n > s.bufSize {
+		return 0, fmt.Errorf("redis server: reply exceeds %d bytes", s.bufSize)
+	}
+	if n == 0 {
+		return off, nil
+	}
+	err := s.call("memcpy", 3, func() error {
+		return s.lc.Memcpy(c.tx+mem.Addr(off), addr, n)
+	})
+	return off + n, err
+}
+
+func (c *connState) writeError(off int, msg string) (int, error) {
+	return c.writeGo(off, appendError(nil, msg))
+}
+
+// execute runs one parsed command, appending the reply to the tx
+// buffer at off and returning the new offset.
+func (c *connState) execute(spans [][2]int, view []byte, off int) (int, error) {
+	s := c.srv
+	arg := func(i int) []byte { return view[spans[i][0] : spans[i][0]+spans[i][1]] }
+	argAddr := func(i int) mem.Addr { return c.rx + mem.Addr(spans[i][0]) }
+	nargs := len(spans)
+	name := asciiUpper(arg(0))
+
+	wrongArgs := func() (int, error) {
+		return c.writeError(off, fmt.Sprintf("ERR wrong number of arguments for '%s' command", name))
+	}
+
+	switch name {
+	case "PING":
+		if nargs == 2 {
+			return c.bulkReply(off, argAddr(1), spans[1][1])
+		}
+		return c.writeGo(off, appendSimple(nil, "PONG"))
+	case "ECHO":
+		if nargs != 2 {
+			return wrongArgs()
+		}
+		return c.bulkReply(off, argAddr(1), spans[1][1])
+	case "SET":
+		if nargs != 3 {
+			return wrongArgs()
+		}
+		if err := s.store.Set(arg(1), argAddr(2), spans[2][1]); err != nil {
+			return 0, err
+		}
+		return c.writeGo(off, appendSimple(nil, "OK"))
+	case "GET":
+		if nargs != 2 {
+			return wrongArgs()
+		}
+		addr, n, ok := s.store.Get(arg(1))
+		if !ok {
+			return c.writeGo(off, appendNull(nil))
+		}
+		return c.bulkReply(off, addr, n)
+	case "DEL":
+		if nargs < 2 {
+			return wrongArgs()
+		}
+		keys := make([][]byte, 0, nargs-1)
+		for i := 1; i < nargs; i++ {
+			keys = append(keys, arg(i))
+		}
+		removed, err := s.store.Del(keys...)
+		if err != nil {
+			return 0, err
+		}
+		return c.writeGo(off, appendInt(nil, int64(removed)))
+	case "EXISTS":
+		if nargs != 2 {
+			return wrongArgs()
+		}
+		v := int64(0)
+		if s.store.Exists(arg(1)) {
+			v = 1
+		}
+		return c.writeGo(off, appendInt(nil, v))
+	case "INCR", "DECR", "INCRBY":
+		delta := int64(1)
+		switch name {
+		case "DECR":
+			delta = -1
+		case "INCRBY":
+			if nargs != 3 {
+				return wrongArgs()
+			}
+			var err error
+			delta, _, err = parseInt(append(append([]byte(nil), arg(2)...), '\r', '\n'), 0)
+			if err != nil {
+				return c.writeError(off, "ERR value is not an integer or out of range")
+			}
+		}
+		if (name != "INCRBY" && nargs != 2) || (name == "INCRBY" && nargs != 3) {
+			return wrongArgs()
+		}
+		v, err := s.store.IncrBy(arg(1), delta)
+		if err != nil {
+			return c.writeError(off, "ERR value is not an integer or out of range")
+		}
+		return c.writeGo(off, appendInt(nil, v))
+	case "APPEND":
+		if nargs != 3 {
+			return wrongArgs()
+		}
+		n, err := s.store.Append(arg(1), argAddr(2), spans[2][1])
+		if err != nil {
+			return 0, err
+		}
+		return c.writeGo(off, appendInt(nil, int64(n)))
+	case "STRLEN":
+		if nargs != 2 {
+			return wrongArgs()
+		}
+		return c.writeGo(off, appendInt(nil, int64(s.store.Strlen(arg(1)))))
+	case "DBSIZE":
+		return c.writeGo(off, appendInt(nil, int64(s.store.Len())))
+	case "FLUSHALL":
+		if err := s.store.FlushAll(); err != nil {
+			return 0, err
+		}
+		return c.writeGo(off, appendSimple(nil, "OK"))
+	default:
+		return c.writeError(off, fmt.Sprintf("ERR unknown command '%s'", name))
+	}
+}
+
+// bulkReply appends "$<n>\r\n<payload>\r\n" at off with the payload
+// moved in LibC.
+func (c *connState) bulkReply(off int, addr mem.Addr, n int) (int, error) {
+	off, err := c.writeGo(off, appendBulkHeader(nil, n))
+	if err != nil {
+		return 0, err
+	}
+	if off, err = c.writeVal(off, addr, n); err != nil {
+		return 0, err
+	}
+	return c.writeGo(off, []byte("\r\n"))
+}
+
+// asciiUpper uppercases a short command name.
+func asciiUpper(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -1,0 +1,157 @@
+package clock
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c CPU
+	c.Charge(CompNet, 10)
+	if got := c.Cycles(); got != 10 {
+		t.Fatalf("Cycles() = %d, want 10", got)
+	}
+	if got := c.Component(CompNet); got != 10 {
+		t.Fatalf("Component(net) = %d, want 10", got)
+	}
+}
+
+func TestChargeAttribution(t *testing.T) {
+	c := New()
+	c.Charge(CompNet, 100)
+	c.Charge(CompLibC, 50)
+	c.Charge(CompNet, 25)
+	if got := c.Cycles(); got != 175 {
+		t.Fatalf("total = %d, want 175", got)
+	}
+	if got := c.Component(CompNet); got != 125 {
+		t.Fatalf("net = %d, want 125", got)
+	}
+	by := c.ByComponent()
+	if by[CompLibC] != 50 {
+		t.Fatalf("libc = %d, want 50", by[CompLibC])
+	}
+	// The returned map must be a copy.
+	by[CompLibC] = 9999
+	if c.Component(CompLibC) != 50 {
+		t.Fatal("ByComponent leaked internal map")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Charge(CompApp, 42)
+	c.Reset()
+	if c.Cycles() != 0 || c.Component(CompApp) != 0 {
+		t.Fatal("Reset did not clear ledger")
+	}
+}
+
+func TestElapsedAtFrequency(t *testing.T) {
+	c := New()
+	c.Charge(CompRest, Hz) // exactly one second of work
+	if got := c.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed = %v, want 1s", got)
+	}
+}
+
+func TestCyclesDurationRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := time.Duration(ms) * time.Millisecond
+		back := CyclesToDuration(DurationToCycles(d))
+		diff := (back - d).Abs()
+		return diff <= 2*time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGbpsFor(t *testing.T) {
+	// 1 Gb of payload in 1 second of cycles => 1 Gbps.
+	bytes := uint64(1e9 / 8)
+	if got := GbpsFor(bytes, Hz); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("GbpsFor = %v, want 1.0", got)
+	}
+	if got := GbpsFor(bytes, 0); got != 0 {
+		t.Fatalf("GbpsFor with zero cycles = %v, want 0", got)
+	}
+	if got := MbpsFor(bytes, Hz); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("MbpsFor = %v, want 1000", got)
+	}
+}
+
+func TestOpsPerSec(t *testing.T) {
+	if got := OpsPerSec(1000, Hz); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("OpsPerSec = %v, want 1000", got)
+	}
+	if got := OpsPerSec(5, 0); got != 0 {
+		t.Fatalf("OpsPerSec with zero cycles = %v, want 0", got)
+	}
+}
+
+func TestNanoseconds(t *testing.T) {
+	// 2.1 cycles = 1ns at 2.1GHz.
+	if got := Nanoseconds(21); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Nanoseconds(21) = %v, want 10", got)
+	}
+}
+
+func TestContextSwitchCalibration(t *testing.T) {
+	// The paper reports 76.6ns (C) and 218.6ns (verified).
+	c := Nanoseconds(CostCtxSwitch)
+	v := Nanoseconds(CostVerifiedCtxSwitch)
+	if math.Abs(c-76.6) > 1.0 {
+		t.Errorf("C scheduler switch = %.1fns, want ~76.6ns", c)
+	}
+	if math.Abs(v-218.6) > 1.0 {
+		t.Errorf("verified scheduler switch = %.1fns, want ~218.6ns", v)
+	}
+	if ratio := v / c; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("verified/C ratio = %.2f, want ~3x", ratio)
+	}
+}
+
+func TestCopyCycles(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {16, 1}, {17, 2}, {1024, 64},
+	}
+	for _, tc := range cases {
+		if got := CopyCycles(tc.n); got != tc.want {
+			t.Errorf("CopyCycles(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestCostHelpersMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(a)+int(b)
+		return CopyCycles(x) <= CopyCycles(y) &&
+			ChecksumCycles(x) <= ChecksumCycles(y) &&
+			ASANCheckCycles(x) <= ASANCheckCycles(y) &&
+			RESPParseCycles(x) <= RESPParseCycles(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringLedger(t *testing.T) {
+	c := New()
+	c.Charge(CompNet, 300)
+	c.Charge(CompLibC, 700)
+	s := c.String()
+	if !strings.Contains(s, "libc") || !strings.Contains(s, "netstack") {
+		t.Fatalf("String() missing components: %q", s)
+	}
+	// Largest consumer first.
+	if strings.Index(s, "libc") > strings.Index(s, "netstack") {
+		t.Fatalf("String() not sorted by cycles: %q", s)
+	}
+}

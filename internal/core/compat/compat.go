@@ -1,0 +1,173 @@
+// Package compat decides whether two libraries can share a compartment.
+//
+// Given two libraries and their metadata there is enough information
+// to decide co-residency automatically: if both libraries have no
+// Requires clause the answer is yes; otherwise each clause is checked
+// against the other library's declared (possibly adversarial)
+// behaviour. The paper's running example: the verified scheduler
+// expects others to only read, not write, its own memory, while a
+// hijackable C component may write to all memory it can reach — so the
+// two cannot share a compartment (until the C component is hardened
+// with DFI, which narrows its writes).
+//
+// The pairwise results feed the coloring package, which turns the
+// conflict graph into a minimal compartmentalization.
+package compat
+
+import (
+	"fmt"
+	"strings"
+
+	"flexos/internal/core/spec"
+)
+
+// Conflict explains one violated requirement: Holder requires
+// something Offender's behaviour exceeds.
+type Conflict struct {
+	Holder   string // library whose Requires clause is violated
+	Offender string // library whose behaviour violates it
+	Verb     spec.Verb
+	Object   string
+	Detail   string
+}
+
+// String implements fmt.Stringer.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s vs %s: %s", c.Holder, c.Offender, c.Detail)
+}
+
+// Violations reports every requirement of holder that offender's
+// declared behaviour could violate if they shared a compartment.
+func Violations(holder, offender *spec.Library) []Conflict {
+	if !holder.Spec.HasRequirements() {
+		return nil
+	}
+	var out []Conflict
+	addMem := func(v spec.Verb, set spec.RegionSet) {
+		if !set.All {
+			// Accesses confined to the offender's own memory and the
+			// shared region never touch the holder's private memory.
+			// The shared region is jointly owned by definition, so
+			// grants like *(Write,Shared) are explicit but implicit.
+			return
+		}
+		// Wildcard behaviour reaches the holder's own memory.
+		if !holder.Spec.Permits(v, "Own") {
+			out = append(out, Conflict{
+				Holder: holder.Name, Offender: offender.Name,
+				Verb: v, Object: "Own",
+				Detail: fmt.Sprintf("%s may %s all memory (including %s's own) but %s grants no *(%s,Own)",
+					offender.Name, strings.ToLower(v.String()), holder.Name, holder.Name, v),
+			})
+		}
+	}
+	addMem(spec.VerbWrite, offender.Spec.Writes)
+	addMem(spec.VerbRead, offender.Spec.Reads)
+
+	// Call behaviour.
+	if offender.Spec.Calls.All {
+		if !holder.Spec.Permits(spec.VerbCall, "*") {
+			out = append(out, Conflict{
+				Holder: holder.Name, Offender: offender.Name,
+				Verb: spec.VerbCall, Object: "*",
+				Detail: fmt.Sprintf("%s may execute arbitrary code but %s restricts entry points",
+					offender.Name, holder.Name),
+			})
+		}
+		return out
+	}
+	for _, fn := range offender.Spec.Calls.Funcs {
+		lib, name, ok := splitQualified(fn)
+		if !ok || lib != holder.Name {
+			continue
+		}
+		switch {
+		case !holder.Spec.ExportsAPI(name):
+			out = append(out, Conflict{
+				Holder: holder.Name, Offender: offender.Name,
+				Verb: spec.VerbCall, Object: name,
+				Detail: fmt.Sprintf("%s calls %s which is not an exported entry point of %s",
+					offender.Name, fn, holder.Name),
+			})
+		case !holder.Spec.Permits(spec.VerbCall, name):
+			out = append(out, Conflict{
+				Holder: holder.Name, Offender: offender.Name,
+				Verb: spec.VerbCall, Object: name,
+				Detail: fmt.Sprintf("%s grants no *(Call,%s) to %s", holder.Name, name, offender.Name),
+			})
+		}
+	}
+	return out
+}
+
+// Explain reports the conflicts in both directions.
+func Explain(a, b *spec.Library) []Conflict {
+	return append(Violations(a, b), Violations(b, a)...)
+}
+
+// Compatible reports whether the two libraries may share a compartment.
+func Compatible(a, b *spec.Library) bool { return len(Explain(a, b)) == 0 }
+
+func splitQualified(fn string) (lib, name string, ok bool) {
+	i := strings.Index(fn, "::")
+	if i < 0 {
+		return "", fn, false
+	}
+	return fn[:i], fn[i+2:], true
+}
+
+// Matrix is the pairwise incompatibility of a library set: the
+// conflict graph handed to the coloring package.
+type Matrix struct {
+	Libs      []*spec.Library
+	conflicts map[[2]int][]Conflict
+}
+
+// BuildMatrix computes all pairwise conflicts.
+func BuildMatrix(libs []*spec.Library) *Matrix {
+	m := &Matrix{Libs: libs, conflicts: make(map[[2]int][]Conflict)}
+	for i := 0; i < len(libs); i++ {
+		for j := i + 1; j < len(libs); j++ {
+			if cs := Explain(libs[i], libs[j]); len(cs) > 0 {
+				m.conflicts[[2]int{i, j}] = cs
+			}
+		}
+	}
+	return m
+}
+
+// Len reports the number of libraries.
+func (m *Matrix) Len() int { return len(m.Libs) }
+
+// Conflicting reports whether libraries i and j conflict.
+func (m *Matrix) Conflicting(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	_, ok := m.conflicts[[2]int{i, j}]
+	return ok
+}
+
+// Conflicts returns the conflict explanations for pair (i, j).
+func (m *Matrix) Conflicts(i, j int) []Conflict {
+	if i > j {
+		i, j = j, i
+	}
+	return m.conflicts[[2]int{i, j}]
+}
+
+// Edges lists all conflicting pairs (i < j).
+func (m *Matrix) Edges() [][2]int {
+	out := make([][2]int, 0, len(m.conflicts))
+	for i := 0; i < len(m.Libs); i++ {
+		for j := i + 1; j < len(m.Libs); j++ {
+			if m.Conflicting(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// EdgeCount reports the number of conflicting pairs.
+func (m *Matrix) EdgeCount() int { return len(m.conflicts) }

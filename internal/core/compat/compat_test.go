@@ -1,0 +1,259 @@
+package compat
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/core/spec"
+)
+
+func parseLibs(t *testing.T, src string) []*spec.Library {
+	t.Helper()
+	libs, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return libs
+}
+
+// The paper's running example: a verified scheduler and a hijackable C
+// component.
+const paperPair = `
+library sched {
+  [Memory access] Read(Own,Shared); Write(Own,Shared)
+  [Call] alloc::malloc, alloc::free
+  [API] thread_add(...); thread_rm(...); yield(...)
+  [Requires] *(Read,Own), *(Write,Shared), *(Call,thread_add), *(Call,thread_rm), *(Call,yield)
+}
+library unsafec {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+  [Analysis] calls(sched::yield); writes(Own,Shared); reads(Own,Shared)
+}
+`
+
+func TestPaperExampleIncompatible(t *testing.T) {
+	libs := parseLibs(t, paperPair)
+	sched, unsafec := libs[0], libs[1]
+
+	if Compatible(sched, unsafec) {
+		t.Fatal("verified scheduler and unsafe C must conflict")
+	}
+	cs := Explain(sched, unsafec)
+	if len(cs) == 0 {
+		t.Fatal("no explanation produced")
+	}
+	// The decisive conflict is the write-to-Own violation.
+	found := false
+	for _, c := range cs {
+		if c.Holder == "sched" && c.Offender == "unsafec" && c.Verb == spec.VerbWrite && c.Object == "Own" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing Write/Own conflict in %v", cs)
+	}
+}
+
+func TestPaperExampleCompatibleAfterSH(t *testing.T) {
+	// "When put together with the scheduler in the same image, the SH
+	// version will be able to share a compartment with the scheduler."
+	libs := parseLibs(t, paperPair)
+	sched, unsafec := libs[0], libs[1]
+	hardened, err := spec.Harden(unsafec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Compatible(sched, hardened) {
+		t.Fatalf("hardened C still conflicts: %v", Explain(sched, hardened))
+	}
+}
+
+func TestNoRequiresBothWaysCompatible(t *testing.T) {
+	// "If both libraries have no Requires clause, the answer is yes."
+	libs := parseLibs(t, `
+library w1 {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+}
+library w2 {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+}
+`)
+	if !Compatible(libs[0], libs[1]) {
+		t.Fatal("two unconstrained libraries must be compatible")
+	}
+}
+
+func TestReadRestriction(t *testing.T) {
+	libs := parseLibs(t, `
+library secret {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [Requires] *(Write,Shared)
+}
+library reader {
+  [Memory access] Read(*); Write(Own)
+  [Call] -
+}
+`)
+	// secret grants no *(Read,Own): the wildcard reader conflicts.
+	cs := Violations(libs[0], libs[1])
+	if len(cs) != 1 || cs[0].Verb != spec.VerbRead {
+		t.Fatalf("conflicts = %v", cs)
+	}
+	// And not the other way around.
+	if got := Violations(libs[1], libs[0]); len(got) != 0 {
+		t.Fatalf("reverse conflicts = %v", got)
+	}
+}
+
+func TestSharedWriteRequirement(t *testing.T) {
+	libs := parseLibs(t, `
+library strict {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [Requires] *(Read,Own)
+}
+library sharer {
+  [Memory access] Read(Own); Write(Own,Shared)
+  [Call] -
+}
+`)
+	// sharer writes only its own memory and the shared region; the
+	// shared region is jointly owned by definition, so even a strict
+	// holder is not violated.
+	if cs := Violations(libs[0], libs[1]); len(cs) != 0 {
+		t.Fatalf("conflicts = %v", cs)
+	}
+}
+
+func TestCallEntryPointChecks(t *testing.T) {
+	libs := parseLibs(t, `
+library srv {
+  [Memory access] Read(Own,Shared); Write(Own,Shared)
+  [Call] -
+  [API] open(...); close(...)
+  [Requires] *(Read,Own), *(Call,open)
+}
+library caller_ok {
+  [Memory access] Read(Own,Shared); Write(Own)
+  [Call] srv::open
+}
+library caller_unexported {
+  [Memory access] Read(Own,Shared); Write(Own)
+  [Call] srv::internal_fn
+}
+library caller_ungranted {
+  [Memory access] Read(Own,Shared); Write(Own)
+  [Call] srv::close
+}
+library caller_other {
+  [Memory access] Read(Own,Shared); Write(Own)
+  [Call] other::open
+}
+`)
+	srv := libs[0]
+	if cs := Violations(srv, libs[1]); len(cs) != 0 {
+		t.Fatalf("granted call conflicts: %v", cs)
+	}
+	if cs := Violations(srv, libs[2]); len(cs) != 1 || !strings.Contains(cs[0].Detail, "not an exported entry point") {
+		t.Fatalf("unexported call: %v", cs)
+	}
+	if cs := Violations(srv, libs[3]); len(cs) != 1 || !strings.Contains(cs[0].Detail, "no *(Call,close)") {
+		t.Fatalf("ungranted call: %v", cs)
+	}
+	if cs := Violations(srv, libs[4]); len(cs) != 0 {
+		t.Fatalf("call to unrelated library flagged: %v", cs)
+	}
+}
+
+func TestWildcardCallAgainstRestrictedHolder(t *testing.T) {
+	libs := parseLibs(t, `
+library srv {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] open(...)
+  [Requires] *(Call,open)
+}
+library wild {
+  [Memory access] Read(Own); Write(Own)
+  [Call] *
+}
+library permissive {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] f(...)
+  [Requires] *(Call,*), *(Read,Own), *(Write,Own)
+}
+`)
+	if Compatible(libs[0], libs[1]) {
+		t.Fatal("wildcard caller vs restricted holder must conflict")
+	}
+	if cs := Violations(libs[2], libs[1]); len(cs) != 0 {
+		t.Fatalf("permissive holder flagged wildcard caller: %v", cs)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	libs := parseLibs(t, paperPair+`
+library alloc {
+  [Memory access] Read(Own,Shared); Write(Own,Shared)
+  [Call] -
+  [API] malloc(...); free(...)
+}
+`)
+	m := BuildMatrix(libs)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Conflicting(0, 1) || !m.Conflicting(1, 0) {
+		t.Fatal("sched/unsafec edge missing (or asymmetric lookup broken)")
+	}
+	if m.Conflicting(0, 2) {
+		t.Fatal("sched/alloc must not conflict")
+	}
+	// alloc has no Requires, so even the wild component co-habits.
+	if m.Conflicting(1, 2) {
+		t.Fatalf("unsafec/alloc conflict: %v", m.Conflicts(1, 2))
+	}
+	edges := m.Edges()
+	if len(edges) != 1 || edges[0] != [2]int{0, 1} {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if m.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d", m.EdgeCount())
+	}
+	if len(m.Conflicts(0, 1)) == 0 {
+		t.Fatal("Conflicts(0,1) empty")
+	}
+	if m.Conflicts(0, 1)[0].String() == "" {
+		t.Fatal("empty conflict string")
+	}
+}
+
+// Property: hardening is compatibility-monotone — narrowing a
+// library's metadata can only remove conflicts, never add them.
+func TestHardeningMonotoneProperty(t *testing.T) {
+	base := spec.DefaultImage()
+	for _, a := range base {
+		for _, b := range base {
+			if a == b {
+				continue
+			}
+			hb, err := spec.Harden(b)
+			if err != nil {
+				continue // no SH variant
+			}
+			if Compatible(a, b) && !Compatible(a, hb) {
+				t.Errorf("hardening %s broke compatibility with %s: %v",
+					b.Name, a.Name, Explain(a, hb))
+			}
+			// And the count of a's violations never grows.
+			if len(Violations(a, hb)) > len(Violations(a, b)) {
+				t.Errorf("hardening %s increased %s's violations", b.Name, a.Name)
+			}
+		}
+	}
+}

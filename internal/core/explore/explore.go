@@ -1,0 +1,311 @@
+// Package explore automates FlexOS's design-space exploration.
+//
+// The paper frames two search strategies over the space of isolation
+// and hardening choices:
+//
+//  1. Given a performance target and predefined compartments, find the
+//     combination of isolation primitives that maximizes security
+//     within the budget.
+//  2. Given a set of safety requirements, find a compliant
+//     instantiation that yields the best performance.
+//
+// Both need the same machinery, built here: enumerate the SH-variant
+// combinations of every library (spec.Combinations), run graph
+// coloring on each combination's conflict matrix (compat + coloring),
+// estimate each candidate's cost from a workload profile (cross-
+// compartment call rates x gate crossing costs + hardening taxes), and
+// rank. The result is the full list of deployable configurations with
+// security and performance scores — the paper's Figure 1 trade-off
+// area, made enumerable.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"flexos/internal/core/coloring"
+	"flexos/internal/core/compat"
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+)
+
+// Workload profiles the application driving the image: how often each
+// library pair calls across, per application-level operation, and the
+// baseline cycles one operation costs. The harness can measure these
+// from a live image; DefaultWorkload approximates the Redis workload.
+type Workload struct {
+	// CallRates is calls per operation between ordered library pairs.
+	CallRates map[[2]string]float64
+	// SHTax is the extra cycles per operation a library costs when
+	// hardened (its memory-op density times the check cost).
+	SHTax map[string]float64
+	// BaseCycles is the uncompartmentalized, unhardened cost of one
+	// operation.
+	BaseCycles float64
+}
+
+// DefaultWorkload approximates the paper's Redis SET/GET workload, the
+// rates mirroring the crossing pattern measured by the harness:
+// several app<->libc<->netstack crossings plus semaphore traffic into
+// the scheduler per request.
+func DefaultWorkload() Workload {
+	return Workload{
+		CallRates: map[[2]string]float64{
+			{"app", "libc"}:       8,
+			{"libc", "netstack"}:  4,
+			{"netstack", "libc"}:  6,
+			{"libc", "sched"}:     3,
+			{"netstack", "alloc"}: 3,
+			{"app", "alloc"}:      1,
+			{"rest", "libc"}:      1,
+		},
+		SHTax: map[string]float64{
+			"libc":     5200,
+			"netstack": 260,
+			"sched":    40,
+			"alloc":    700,
+			"app":      900,
+			"rest":     650,
+		},
+		BaseCycles: 4000,
+	}
+}
+
+// Candidate is one point of the design space: a variant combination, a
+// minimal coloring for it, and its scores.
+type Candidate struct {
+	// Libs is the chosen variant of each library.
+	Libs []*spec.Library
+	// Plan is the compartmentalization derived by coloring.
+	Plan *coloring.Plan
+	// Assignment is the underlying coloring.
+	Assignment coloring.Assignment
+	// Backend is the crossing mechanism the scores assume.
+	Backend gate.Backend
+	// HardenedLibs counts SH variants in the combination.
+	HardenedLibs int
+	// SeparatedPairs counts library pairs placed in different
+	// compartments.
+	SeparatedPairs int
+	// Security is the candidate's security score (higher is better).
+	Security float64
+	// EstCycles is the estimated per-operation cost.
+	EstCycles float64
+}
+
+// Slowdown reports estimated cost relative to the workload baseline.
+func (c *Candidate) Slowdown(w Workload) float64 {
+	if w.BaseCycles == 0 {
+		return 0
+	}
+	return c.EstCycles / w.BaseCycles
+}
+
+// Describe renders a one-line summary.
+func (c *Candidate) Describe() string {
+	names := make([]string, len(c.Libs))
+	for i, l := range c.Libs {
+		names[i] = l.VariantName()
+	}
+	return fmt.Sprintf("%d compartments, %d hardened, security %.1f, est %.0f cycles/op (%v)",
+		c.Plan.NumCompartments(), c.HardenedLibs, c.Security, c.EstCycles, names)
+}
+
+// score fills the derived fields of a candidate.
+func (c *Candidate) score(w Workload) {
+	n := len(c.Libs)
+	c.HardenedLibs = 0
+	for _, l := range c.Libs {
+		if len(l.Hardened) > 0 {
+			c.HardenedLibs++
+		}
+	}
+	c.SeparatedPairs = 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c.Assignment.Colors[i] != c.Assignment.Colors[j] {
+				c.SeparatedPairs++
+			}
+		}
+	}
+	// Security: every separated pair is a hardware boundary an exploit
+	// must cross; every hardened library resists hijack in place.
+	// Wildcard libraries co-resident with others drag the score down.
+	c.Security = float64(c.SeparatedPairs) + 0.5*float64(c.HardenedLibs)
+	for i, l := range c.Libs {
+		if !l.Spec.Writes.All && !l.Spec.Calls.All {
+			continue
+		}
+		// A still-wild library sharing a compartment weakens it.
+		for j := range c.Libs {
+			if j != i && c.Assignment.Colors[i] == c.Assignment.Colors[j] {
+				c.Security -= 0.25
+			}
+		}
+	}
+
+	// Cost: base + crossings x gate cost + hardening taxes.
+	cost := w.BaseCycles
+	idx := make(map[string]int, n)
+	for i, l := range c.Libs {
+		idx[l.Name] = i
+	}
+	for pair, rate := range w.CallRates {
+		i, okA := idx[pair[0]]
+		j, okB := idx[pair[1]]
+		if !okA || !okB {
+			continue
+		}
+		if c.Assignment.Colors[i] != c.Assignment.Colors[j] {
+			cost += rate * float64(gate.CrossingCost(c.Backend))
+		}
+	}
+	for _, l := range c.Libs {
+		if len(l.Hardened) > 0 {
+			cost += w.SHTax[l.Name]
+		}
+	}
+	c.EstCycles = cost
+}
+
+// Explore enumerates every SH-variant combination, colors each one
+// minimally (exactly for small graphs, DSATUR otherwise), and scores
+// the candidates against the workload.
+func Explore(libs []*spec.Library, backend gate.Backend, w Workload) ([]*Candidate, error) {
+	combos, err := spec.Combinations(libs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Candidate, 0, len(combos))
+	for _, combo := range combos {
+		m := compat.BuildMatrix(combo)
+		g := coloring.FromMatrix(m)
+		asg, err := coloring.Exact(g)
+		if err != nil {
+			asg = coloring.DSATUR(g)
+		}
+		c := &Candidate{
+			Libs:       combo,
+			Assignment: asg,
+			Plan:       coloring.PlanFromAssignment(m, asg),
+			Backend:    backend,
+		}
+		c.score(w)
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// MaxSecurityWithinBudget returns the most secure candidate whose
+// estimated slowdown stays within budget (e.g. 1.5 = at most 50%
+// slower than baseline). It returns nil if none qualifies.
+func MaxSecurityWithinBudget(cands []*Candidate, w Workload, budget float64) *Candidate {
+	var best *Candidate
+	for _, c := range cands {
+		if c.Slowdown(w) > budget {
+			continue
+		}
+		if best == nil || c.Security > best.Security ||
+			(c.Security == best.Security && c.EstCycles < best.EstCycles) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Requirement is a predicate a deployment must satisfy (e.g. "the
+// scheduler shares no compartment with a wildcard writer").
+type Requirement func(*Candidate) bool
+
+// SeparatedFrom requires two libraries to live in different
+// compartments.
+func SeparatedFrom(a, b string) Requirement {
+	return func(c *Candidate) bool {
+		return c.Plan.CompartmentOf(variantOf(c, a)) != c.Plan.CompartmentOf(variantOf(c, b))
+	}
+}
+
+// NoWildcardWrites requires every library's (possibly hardened)
+// metadata to be free of Write(*) — the "no buffer overflows reach
+// others' memory" safety requirement of the paper's example.
+func NoWildcardWrites() Requirement {
+	return func(c *Candidate) bool {
+		for _, l := range c.Libs {
+			if l.Spec.Writes.All {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Hardened requires a specific library to run with SH.
+func Hardened(lib string) Requirement {
+	return func(c *Candidate) bool {
+		for _, l := range c.Libs {
+			if l.Name == lib {
+				return len(l.Hardened) > 0
+			}
+		}
+		return false
+	}
+}
+
+// variantOf resolves a base library name to its variant name inside a
+// candidate.
+func variantOf(c *Candidate, name string) string {
+	for _, l := range c.Libs {
+		if l.Name == name {
+			return l.VariantName()
+		}
+	}
+	return name
+}
+
+// BestPerfMeetingRequirements returns the cheapest candidate
+// satisfying every requirement, or nil.
+func BestPerfMeetingRequirements(cands []*Candidate, reqs ...Requirement) *Candidate {
+	var best *Candidate
+next:
+	for _, c := range cands {
+		for _, r := range reqs {
+			if !r(c) {
+				continue next
+			}
+		}
+		if best == nil || c.EstCycles < best.EstCycles ||
+			(c.EstCycles == best.EstCycles && c.Security > best.Security) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ParetoFront returns the candidates not dominated in
+// (security, -cost), sorted by cost.
+func ParetoFront(cands []*Candidate) []*Candidate {
+	var front []*Candidate
+	for _, c := range cands {
+		dominated := false
+		for _, o := range cands {
+			if o == c {
+				continue
+			}
+			if o.Security >= c.Security && o.EstCycles <= c.EstCycles &&
+				(o.Security > c.Security || o.EstCycles < c.EstCycles) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].EstCycles != front[j].EstCycles {
+			return front[i].EstCycles < front[j].EstCycles
+		}
+		return front[i].Security > front[j].Security
+	})
+	return front
+}

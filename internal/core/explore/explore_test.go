@@ -1,0 +1,201 @@
+package explore
+
+import (
+	"testing"
+
+	"flexos/internal/core/coloring"
+	"flexos/internal/core/compat"
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+)
+
+func defaultCandidates(t *testing.T, backend gate.Backend) []*Candidate {
+	t.Helper()
+	cands, err := Explore(spec.DefaultImage(), backend, DefaultWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cands
+}
+
+func TestDefaultImageParses(t *testing.T) {
+	libs := spec.DefaultImage()
+	if len(libs) != 6 {
+		t.Fatalf("libs = %d", len(libs))
+	}
+	if !libs[0].Trusted || libs[0].Name != "sched" {
+		t.Fatal("sched must be first and trusted")
+	}
+}
+
+func TestExploreEnumeratesCombinations(t *testing.T) {
+	cands := defaultCandidates(t, gate.MPKShared)
+	// Four libraries have SH variants (libc, netstack, app, rest):
+	// 2^4 combinations.
+	if len(cands) != 16 {
+		t.Fatalf("candidates = %d, want 16", len(cands))
+	}
+	for _, c := range cands {
+		if err := coloring.Validate(coloring.FromMatrix(compat.BuildMatrix(c.Libs)), c.Assignment); err != nil {
+			t.Fatalf("invalid coloring for %s: %v", c.Describe(), err)
+		}
+		if c.Describe() == "" {
+			t.Fatal("empty description")
+		}
+	}
+}
+
+func TestAllOriginalNeedsTwoCompartments(t *testing.T) {
+	// The verified scheduler and the MM cannot share a compartment
+	// with wildcard writers; everything else can pile together.
+	cands := defaultCandidates(t, gate.MPKShared)
+	var allOriginal *Candidate
+	for _, c := range cands {
+		if c.HardenedLibs == 0 {
+			allOriginal = c
+		}
+	}
+	if allOriginal == nil {
+		t.Fatal("no unhardened candidate")
+	}
+	if got := allOriginal.Plan.NumCompartments(); got != 2 {
+		t.Fatalf("unhardened image needs %d compartments, want 2", got)
+	}
+}
+
+func TestAllHardenedCollapsesToOneCompartment(t *testing.T) {
+	// With every wildcard library hardened (DFI narrows writes, CFI
+	// narrows calls), everything may cohabit: SH substitutes for
+	// hardware isolation — the paper's central trade.
+	cands := defaultCandidates(t, gate.MPKShared)
+	var allHardened *Candidate
+	for _, c := range cands {
+		if c.HardenedLibs == 4 {
+			allHardened = c
+		}
+	}
+	if allHardened == nil {
+		t.Fatal("no fully hardened candidate")
+	}
+	if got := allHardened.Plan.NumCompartments(); got != 1 {
+		t.Fatalf("fully hardened image uses %d compartments, want 1", got)
+	}
+}
+
+func TestMaxSecurityWithinBudget(t *testing.T) {
+	w := DefaultWorkload()
+	cands := defaultCandidates(t, gate.MPKShared)
+	// A generous budget admits the most secure candidate; a budget of
+	// 1.0 admits only the baseline-cost ones.
+	best := MaxSecurityWithinBudget(cands, w, 10.0)
+	if best == nil {
+		t.Fatal("no candidate within generous budget")
+	}
+	tight := MaxSecurityWithinBudget(cands, w, 1.0)
+	if tight != nil && tight.Slowdown(w) > 1.0 {
+		t.Fatalf("budget violated: %.2f", tight.Slowdown(w))
+	}
+	if best.Security == 0 {
+		t.Fatal("best candidate has zero security")
+	}
+	// Tightening the budget cannot raise security.
+	mid := MaxSecurityWithinBudget(cands, w, 1.5)
+	if mid != nil && mid.Security > best.Security {
+		t.Fatal("tighter budget found more security")
+	}
+	if none := MaxSecurityWithinBudget(cands, w, 0.01); none != nil {
+		t.Fatal("impossible budget satisfied")
+	}
+}
+
+func TestBestPerfMeetingRequirements(t *testing.T) {
+	cands := defaultCandidates(t, gate.MPKShared)
+	// "No buffer overflows" (no wildcard writes) — the paper's example
+	// safety requirement. Cheapest compliant instantiation hardens
+	// writes everywhere instead of isolating everything.
+	best := BestPerfMeetingRequirements(cands, NoWildcardWrites())
+	if best == nil {
+		t.Fatal("no compliant candidate")
+	}
+	for _, l := range best.Libs {
+		if l.Spec.Writes.All {
+			t.Fatalf("requirement violated by %s", l.VariantName())
+		}
+	}
+	// Requiring netstack isolated from sched.
+	sep := BestPerfMeetingRequirements(cands, SeparatedFrom("netstack", "sched"))
+	if sep == nil {
+		t.Fatal("no separated candidate")
+	}
+	if sep.Plan.CompartmentOf(variantOf(sep, "netstack")) == sep.Plan.CompartmentOf(variantOf(sep, "sched")) {
+		t.Fatal("separation requirement violated")
+	}
+	// Requiring libc hardened.
+	h := BestPerfMeetingRequirements(cands, Hardened("libc"))
+	if h == nil {
+		t.Fatal("no hardened-libc candidate")
+	}
+	found := false
+	for _, l := range h.Libs {
+		if l.Name == "libc" && len(l.Hardened) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("libc not hardened in result")
+	}
+	// Unsatisfiable requirement.
+	if BestPerfMeetingRequirements(cands, Hardened("sched")) != nil {
+		t.Fatal("impossible requirement satisfied (sched has no SH variant)")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	w := DefaultWorkload()
+	cands := defaultCandidates(t, gate.MPKShared)
+	front := ParetoFront(cands)
+	if len(front) == 0 || len(front) > len(cands) {
+		t.Fatalf("front size = %d", len(front))
+	}
+	// Sorted by cost, and no member dominated by another member.
+	for i := 1; i < len(front); i++ {
+		if front[i].EstCycles < front[i-1].EstCycles {
+			t.Fatal("front not sorted by cost")
+		}
+		if front[i].Security <= front[i-1].Security {
+			t.Fatal("front not strictly improving in security")
+		}
+	}
+	_ = w
+}
+
+func TestBackendChangesCost(t *testing.T) {
+	w := DefaultWorkload()
+	mpkCands := defaultCandidates(t, gate.MPKShared)
+	vmCands := defaultCandidates(t, gate.VMRPC)
+	// Compare the unhardened (2-compartment) candidate across
+	// backends: VM crossings are far more expensive.
+	pick := func(cands []*Candidate) *Candidate {
+		for _, c := range cands {
+			if c.HardenedLibs == 0 {
+				return c
+			}
+		}
+		return nil
+	}
+	m, v := pick(mpkCands), pick(vmCands)
+	if m == nil || v == nil {
+		t.Fatal("missing candidates")
+	}
+	if v.EstCycles <= m.EstCycles {
+		t.Fatalf("VM (%f) should cost more than MPK (%f)", v.EstCycles, m.EstCycles)
+	}
+	_ = w
+}
+
+func TestSlowdownZeroBase(t *testing.T) {
+	c := &Candidate{EstCycles: 100}
+	if c.Slowdown(Workload{}) != 0 {
+		t.Fatal("zero-base slowdown should be 0")
+	}
+}

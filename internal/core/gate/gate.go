@@ -1,0 +1,243 @@
+// Package gate implements FlexOS's call gates.
+//
+// Compartments are separated by gates, made up of the API each
+// compartment exposes. In the ported source, every cross-micro-library
+// call site is a placeholder (uk_gate_r(rc, listen, sockfd, 5)); at
+// link time the builder replaces each placeholder with either a direct
+// function call (both libraries in the same compartment) or the
+// crossing code of the configured isolation backend:
+//
+//   - FuncCall: plain call, no protection-domain switch.
+//   - MPKShared: ERIM-like. Heap/static memory are isolated per key,
+//     stacks live in a domain shared by all compartments; crossing is
+//     two WRPKRUs plus register hygiene.
+//   - MPKSwitched: Hodor-like. Heap, static and stacks are all
+//     isolated; crossing additionally switches to the target domain's
+//     per-thread stack and copies parameters across.
+//   - VMRPC: Xen-like. Each compartment is its own VM; crossing is an
+//     RPC over inter-VM notifications with arguments marshalled
+//     through a shared window.
+//   - CHERI: capability machine. Each compartment publishes a sealed
+//     code/data capability pair; a crossing is a CInvoke, with no PKRU
+//     and no 16-domain limit (see cheri.go).
+//
+// Gates charge their cost to the calling machine's virtual CPU and,
+// for the MPK backends, actually rewrite the simulated PKRU so that
+// out-of-compartment accesses fault inside the callee.
+package gate
+
+import (
+	"fmt"
+
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
+)
+
+// Backend identifies an isolation mechanism for compartment crossings.
+type Backend int
+
+// Supported isolation backends.
+const (
+	FuncCall Backend = iota
+	MPKShared
+	MPKSwitched
+	VMRPC
+	CHERI
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case FuncCall:
+		return "funccall"
+	case MPKShared:
+		return "mpk-shared"
+	case MPKSwitched:
+		return "mpk-switched"
+	case VMRPC:
+		return "vm-rpc"
+	case CHERI:
+		return "cheri"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend converts a config string to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "funccall", "none":
+		return FuncCall, nil
+	case "mpk-shared", "mpk", "erim":
+		return MPKShared, nil
+	case "mpk-switched", "hodor":
+		return MPKSwitched, nil
+	case "vm-rpc", "vm", "ept", "xen":
+		return VMRPC, nil
+	case "cheri", "caps", "capabilities":
+		return CHERI, nil
+	default:
+		return 0, fmt.Errorf("gate: unknown backend %q", s)
+	}
+}
+
+// Domain is one protection domain (one compartment's hardware view).
+type Domain struct {
+	// Name is the compartment name (for diagnostics).
+	Name string
+	// Keys are the protection keys owned by the compartment.
+	Keys []mem.Key
+	// PKRU is the register value installed while the compartment runs.
+	PKRU mpk.PKRU
+}
+
+// NewDomain builds a domain owning the given keys; its PKRU allows
+// those keys plus the shared key 0.
+func NewDomain(name string, keys ...mem.Key) *Domain {
+	return &Domain{Name: name, Keys: keys, PKRU: mpk.DomainPKRU(keys...)}
+}
+
+// Gate is one crossing mechanism between two domains.
+type Gate interface {
+	// Backend reports which mechanism this gate implements.
+	Backend() Backend
+	// Call runs fn in the context of the `to` domain, passing
+	// argWords 8-byte argument words and copying the return value
+	// back. The error is fn's error; gate-internal failures (PKRU
+	// sealing violations) are also reported.
+	Call(from, to *Domain, argWords int, fn func() error) error
+	// Crossings reports how many domain crossings the gate performed
+	// (a call and its return are one crossing pair, counted once).
+	Crossings() uint64
+}
+
+// funcGate is the direct-call gate used within a compartment.
+type funcGate struct {
+	cpu   *clock.CPU
+	count uint64
+}
+
+// NewFuncCall returns the direct-call gate.
+func NewFuncCall(cpu *clock.CPU) Gate { return &funcGate{cpu: cpu} }
+
+func (g *funcGate) Backend() Backend { return FuncCall }
+func (g *funcGate) Crossings() uint64 {
+	return g.count
+}
+
+func (g *funcGate) Call(from, to *Domain, argWords int, fn func() error) error {
+	g.count++
+	g.cpu.Charge(clock.CompGate, clock.CostCall)
+	return fn()
+}
+
+// mpkGate implements both MPK variants.
+type mpkGate struct {
+	unit     *mpk.Unit
+	cpu      *clock.CPU
+	switched bool
+	count    uint64
+}
+
+// NewMPKShared returns the ERIM-like shared-stack gate.
+func NewMPKShared(u *mpk.Unit, cpu *clock.CPU) Gate {
+	return &mpkGate{unit: u, cpu: cpu}
+}
+
+// NewMPKSwitched returns the Hodor-like switched-stack gate.
+func NewMPKSwitched(u *mpk.Unit, cpu *clock.CPU) Gate {
+	return &mpkGate{unit: u, cpu: cpu, switched: true}
+}
+
+func (g *mpkGate) Backend() Backend {
+	if g.switched {
+		return MPKSwitched
+	}
+	return MPKShared
+}
+
+func (g *mpkGate) Crossings() uint64 { return g.count }
+
+func (g *mpkGate) Call(from, to *Domain, argWords int, fn func() error) error {
+	g.count++
+	// Entry: clear caller-saved registers, switch PKRU, optionally
+	// switch stacks and copy parameters across.
+	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	if g.switched {
+		g.cpu.Charge(clock.CompGate,
+			clock.CostStackSwitch+uint64(argWords)*clock.CostParamCopyPerWord)
+	}
+	if err := g.unit.WritePKRU(to.PKRU); err != nil {
+		return fmt.Errorf("gate %s->%s: %w", from.Name, to.Name, err)
+	}
+	callErr := fn()
+	// Return path: restore caller domain (and stack).
+	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	if g.switched {
+		g.cpu.Charge(clock.CompGate, clock.CostStackSwitch+clock.CostParamCopyPerWord)
+	}
+	if err := g.unit.WritePKRU(from.PKRU); err != nil {
+		return fmt.Errorf("gate %s<-%s return: %w", from.Name, to.Name, err)
+	}
+	return callErr
+}
+
+// rpcGate is the VM/EPT backend: the crossing is an RPC over an
+// inter-VM notification, with arguments marshalled through the shared
+// window. Compartments do not share an address space; isolation is
+// enforced by construction (the callee VM simply has no mapping of the
+// caller's private memory), so no PKRU is involved.
+type rpcGate struct {
+	cpu   *clock.CPU
+	count uint64
+	// notify, when non-nil, is invoked for each crossing so the vmm
+	// substrate can deliver the event on the peer's event channel.
+	notify func(from, to *Domain)
+}
+
+// NewVMRPC returns the VM-based RPC gate. notify may be nil.
+func NewVMRPC(cpu *clock.CPU, notify func(from, to *Domain)) Gate {
+	return &rpcGate{cpu: cpu, notify: notify}
+}
+
+func (g *rpcGate) Backend() Backend  { return VMRPC }
+func (g *rpcGate) Crossings() uint64 { return g.count }
+
+func (g *rpcGate) Call(from, to *Domain, argWords int, fn func() error) error {
+	g.count++
+	// Request: marshal descriptor + args into the shared ring, notify
+	// the callee VM, callee is scheduled.
+	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
+		uint64(argWords)*clock.CostParamCopyPerWord)
+	if g.notify != nil {
+		g.notify(from, to)
+	}
+	callErr := fn()
+	// Response: notification back to the caller VM.
+	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify)
+	if g.notify != nil {
+		g.notify(to, from)
+	}
+	return callErr
+}
+
+// CrossingCost reports the fixed cycle cost of one call+return through
+// a backend's gate (excluding per-argument copies). The explorer uses
+// it to rank configurations without running them.
+func CrossingCost(b Backend) uint64 {
+	switch b {
+	case FuncCall:
+		return clock.CostCall
+	case MPKShared:
+		return 2*clock.CostWRPKRU + 2*clock.CostRegisterClear
+	case MPKSwitched:
+		return 2*clock.CostWRPKRU + 2*clock.CostRegisterClear + 2*clock.CostStackSwitch
+	case VMRPC:
+		return 2*clock.CostVMNotify + clock.CostVMRPCFixed
+	case CHERI:
+		return 2*clock.CostCInvoke + 2*clock.CostRegisterClear
+	default:
+		return 0
+	}
+}

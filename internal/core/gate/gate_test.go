@@ -1,0 +1,228 @@
+package gate
+
+import (
+	"errors"
+	"testing"
+
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
+)
+
+func TestBackendString(t *testing.T) {
+	cases := map[Backend]string{
+		FuncCall: "funccall", MPKShared: "mpk-shared",
+		MPKSwitched: "mpk-switched", VMRPC: "vm-rpc",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]Backend{
+		"funccall": FuncCall, "none": FuncCall,
+		"mpk": MPKShared, "erim": MPKShared,
+		"hodor": MPKSwitched, "mpk-switched": MPKSwitched,
+		"xen": VMRPC, "vm-rpc": VMRPC, "ept": VMRPC,
+	} {
+		got, err := ParseBackend(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("bogus"); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+}
+
+func TestFuncGate(t *testing.T) {
+	cpu := clock.New()
+	g := NewFuncCall(cpu)
+	ran := false
+	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), 3, func() error {
+		ran = true
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("call failed: %v", err)
+	}
+	if cpu.Component(clock.CompGate) != clock.CostCall {
+		t.Fatalf("cost = %d, want %d", cpu.Component(clock.CompGate), clock.CostCall)
+	}
+	if g.Crossings() != 1 {
+		t.Fatal("crossing not counted")
+	}
+}
+
+func newMPKWorld(t *testing.T) (*mpk.Unit, *mem.Arena, *clock.CPU) {
+	t.Helper()
+	a := mem.NewArena(16 * mem.PageSize)
+	cpu := clock.New()
+	return mpk.New(a, cpu), a, cpu
+}
+
+func TestMPKGateSwitchesDomains(t *testing.T) {
+	u, a, cpu := newMPKWorld(t)
+	mustNoErr(t, a.SetKeyRange(mem.PageSize, mem.PageSize, 1))
+	mustNoErr(t, a.SetKeyRange(2*mem.PageSize, mem.PageSize, 2))
+	app := NewDomain("app", 1)
+	net := NewDomain("net", 2)
+	mustNoErr(t, u.WritePKRU(app.PKRU))
+	cpu.Reset()
+
+	g := NewMPKShared(u, cpu)
+	err := g.Call(app, net, 2, func() error {
+		// Inside the gate we are in net's domain: net memory is
+		// accessible, app memory is not.
+		if _, err := u.Load(2*mem.PageSize, 8); err != nil {
+			t.Errorf("callee cannot read own memory: %v", err)
+		}
+		if _, err := u.Load(mem.PageSize, 8); err == nil {
+			t.Error("callee can read caller's private memory")
+		}
+		return nil
+	})
+	mustNoErr(t, err)
+	// After return we are back in app's domain.
+	if u.PKRU() != app.PKRU {
+		t.Fatalf("PKRU not restored: %v", u.PKRU())
+	}
+	// Cost: 2 WRPKRU + 2 register clears.
+	want := uint64(2*clock.CostWRPKRU + 2*clock.CostRegisterClear)
+	if got := cpu.Component(clock.CompGate); got != want {
+		t.Fatalf("shared gate cost = %d, want %d", got, want)
+	}
+}
+
+func TestMPKSwitchedCostsMore(t *testing.T) {
+	u, _, cpu := newMPKWorld(t)
+	app, net := NewDomain("app", 1), NewDomain("net", 2)
+	shared := NewMPKShared(u, cpu)
+	mustNoErr(t, shared.Call(app, net, 4, func() error { return nil }))
+	sharedCost := cpu.Cycles()
+
+	cpu.Reset()
+	switched := NewMPKSwitched(u, cpu)
+	mustNoErr(t, switched.Call(app, net, 4, func() error { return nil }))
+	switchedCost := cpu.Cycles()
+
+	if switchedCost <= sharedCost {
+		t.Fatalf("switched (%d) should cost more than shared (%d)", switchedCost, sharedCost)
+	}
+	if switched.Backend() != MPKSwitched || shared.Backend() != MPKShared {
+		t.Fatal("backend tags wrong")
+	}
+}
+
+func TestMPKGatePropagatesError(t *testing.T) {
+	u, _, cpu := newMPKWorld(t)
+	g := NewMPKShared(u, cpu)
+	boom := errors.New("boom")
+	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), 0, func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if u.PKRU() != NewDomain("a", 1).PKRU {
+		t.Fatal("PKRU not restored after callee error")
+	}
+}
+
+func TestMPKGateSealingViolation(t *testing.T) {
+	u, _, cpu := newMPKWorld(t)
+	u.SetPolicy(mpk.SealStatic)
+	a, b := NewDomain("a", 1), NewDomain("b", 2)
+	u.RegisterDomain(a.PKRU) // b is NOT registered
+	g := NewMPKShared(u, cpu)
+	if err := g.Call(a, b, 0, func() error { return nil }); err == nil {
+		t.Fatal("unregistered target domain accepted")
+	}
+}
+
+func TestVMRPCGate(t *testing.T) {
+	cpu := clock.New()
+	var notifications [][2]string
+	g := NewVMRPC(cpu, func(from, to *Domain) {
+		notifications = append(notifications, [2]string{from.Name, to.Name})
+	})
+	a, b := NewDomain("a"), NewDomain("b")
+	mustNoErr(t, g.Call(a, b, 2, func() error { return nil }))
+	if len(notifications) != 2 {
+		t.Fatalf("notifications = %v", notifications)
+	}
+	if notifications[0] != [2]string{"a", "b"} || notifications[1] != [2]string{"b", "a"} {
+		t.Fatalf("notification order wrong: %v", notifications)
+	}
+	if cpu.Component(clock.CompVMM) < 2*clock.CostVMNotify {
+		t.Fatal("VM RPC undercharged")
+	}
+}
+
+func TestCrossingCostOrdering(t *testing.T) {
+	// The design-space premise: funccall < mpk-shared < mpk-switched
+	// << vm-rpc.
+	f, s, w, v := CrossingCost(FuncCall), CrossingCost(MPKShared),
+		CrossingCost(MPKSwitched), CrossingCost(VMRPC)
+	if !(f < s && s < w && w < v) {
+		t.Fatalf("cost ordering broken: %d %d %d %d", f, s, w, v)
+	}
+	if v < 20*s {
+		t.Fatalf("VM RPC (%d) should dwarf MPK (%d)", v, s)
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	u, _, cpu := newMPKWorld(t)
+	r := NewRegistry(NewFuncCall(cpu), NewMPKShared(u, cpu))
+	c1, c2 := NewDomain("comp1", 1), NewDomain("comp2", 2)
+	r.AddCompartment(c1)
+	r.AddCompartment(c2)
+	mustNoErr(t, r.Assign("app", "comp1"))
+	mustNoErr(t, r.Assign("libc", "comp1"))
+	mustNoErr(t, r.Assign("netstack", "comp2"))
+
+	if !r.SameCompartment("app", "libc") || r.SameCompartment("app", "netstack") {
+		t.Fatal("SameCompartment wrong")
+	}
+
+	// Intra-compartment: direct call, no crossings.
+	mustNoErr(t, r.Call("app", "libc", 1, func() error { return nil }))
+	if r.TotalCrossings() != 0 {
+		t.Fatal("intra-compartment call counted as crossing")
+	}
+
+	// Inter-compartment: crossing counted per pair.
+	mustNoErr(t, r.Call("app", "netstack", 2, func() error { return nil }))
+	mustNoErr(t, r.Call("netstack", "app", 1, func() error { return nil }))
+	if r.Crossings("comp1", "comp2") != 1 || r.Crossings("comp2", "comp1") != 1 {
+		t.Fatalf("crossing matrix = %v", r.CrossingMatrix())
+	}
+	if r.TotalCrossings() != 2 {
+		t.Fatal("TotalCrossings wrong")
+	}
+
+	// Unknown libraries are errors.
+	if err := r.Call("ghost", "app", 0, func() error { return nil }); err == nil {
+		t.Fatal("unknown caller accepted")
+	}
+	if err := r.Call("app", "ghost", 0, func() error { return nil }); err == nil {
+		t.Fatal("unknown callee accepted")
+	}
+	if err := r.Assign("x", "ghost-comp"); err == nil {
+		t.Fatal("unknown compartment accepted")
+	}
+
+	libs := r.Libraries()
+	if len(libs) != 3 || libs[0] != "app" {
+		t.Fatalf("Libraries = %v", libs)
+	}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

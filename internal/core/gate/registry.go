@@ -1,0 +1,139 @@
+package gate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry is the runtime artifact the builder produces from a
+// compartmentalization plan: the library -> compartment assignment and
+// one gate per compartment pair. OS components call through it at
+// every cross-library call site; the registry resolves the placeholder
+// to a direct call or a domain crossing, exactly like the link-time
+// gate instantiation of the paper.
+type Registry struct {
+	domains   map[string]*Domain // compartment -> domain
+	libs      map[string]string  // library -> compartment
+	direct    Gate
+	cross     Gate
+	pairCount map[[2]string]uint64
+	tracer    func(fromComp, toComp string)
+	observer  func(fromLib, toLib, fn string)
+}
+
+// SetTracer installs a callback invoked on every inter-compartment
+// crossing (nil disables tracing).
+func (r *Registry) SetTracer(fn func(fromComp, toComp string)) { r.tracer = fn }
+
+// SetObserver installs a callback invoked on every named cross-library
+// call, including intra-compartment ones — the dynamic-analysis tap
+// the metadata generator records from (nil disables).
+func (r *Registry) SetObserver(fn func(fromLib, toLib, fn string)) { r.observer = fn }
+
+// NewRegistry creates a registry using direct for intra-compartment
+// calls and cross for inter-compartment calls.
+func NewRegistry(direct, cross Gate) *Registry {
+	return &Registry{
+		domains:   make(map[string]*Domain),
+		libs:      make(map[string]string),
+		direct:    direct,
+		cross:     cross,
+		pairCount: make(map[[2]string]uint64),
+	}
+}
+
+// AddCompartment registers a compartment's protection domain.
+func (r *Registry) AddCompartment(d *Domain) { r.domains[d.Name] = d }
+
+// Assign places a library into a compartment.
+func (r *Registry) Assign(lib, compartment string) error {
+	if _, ok := r.domains[compartment]; !ok {
+		return fmt.Errorf("gate: unknown compartment %q", compartment)
+	}
+	r.libs[lib] = compartment
+	return nil
+}
+
+// CompartmentOf reports the compartment a library lives in.
+func (r *Registry) CompartmentOf(lib string) (string, bool) {
+	c, ok := r.libs[lib]
+	return c, ok
+}
+
+// Domain returns a compartment's protection domain.
+func (r *Registry) Domain(compartment string) (*Domain, bool) {
+	d, ok := r.domains[compartment]
+	return d, ok
+}
+
+// Libraries lists the assigned libraries, sorted.
+func (r *Registry) Libraries() []string {
+	out := make([]string, 0, len(r.libs))
+	for l := range r.libs {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameCompartment reports whether two libraries share a compartment.
+func (r *Registry) SameCompartment(a, b string) bool {
+	ca, okA := r.libs[a]
+	cb, okB := r.libs[b]
+	return okA && okB && ca == cb
+}
+
+// Call routes a cross-library call: the uk_gate placeholder at run
+// time. fromLib is the calling library, toLib the callee; argWords the
+// number of 8-byte argument words the signature carries.
+func (r *Registry) Call(fromLib, toLib string, argWords int, fn func() error) error {
+	return r.CallNamed(fromLib, toLib, "", argWords, fn)
+}
+
+// CallNamed is Call with the callee function named, feeding the
+// observer (used to generate draft metadata from observed behaviour).
+func (r *Registry) CallNamed(fromLib, toLib, fnName string, argWords int, fn func() error) error {
+	cf, ok := r.libs[fromLib]
+	if !ok {
+		return fmt.Errorf("gate: caller library %q not assigned", fromLib)
+	}
+	ct, ok := r.libs[toLib]
+	if !ok {
+		return fmt.Errorf("gate: callee library %q not assigned", toLib)
+	}
+	if r.observer != nil && fnName != "" {
+		r.observer(fromLib, toLib, fnName)
+	}
+	if cf == ct {
+		return r.direct.Call(r.domains[cf], r.domains[ct], argWords, fn)
+	}
+	r.pairCount[[2]string{cf, ct}]++
+	if r.tracer != nil {
+		r.tracer(cf, ct)
+	}
+	return r.cross.Call(r.domains[cf], r.domains[ct], argWords, fn)
+}
+
+// Crossings reports the number of inter-compartment crossings between
+// the two compartments (directional).
+func (r *Registry) Crossings(fromComp, toComp string) uint64 {
+	return r.pairCount[[2]string{fromComp, toComp}]
+}
+
+// TotalCrossings reports all inter-compartment crossings.
+func (r *Registry) TotalCrossings() uint64 {
+	var n uint64
+	for _, c := range r.pairCount {
+		n += c
+	}
+	return n
+}
+
+// CrossingMatrix returns a copy of the per-pair crossing counters.
+func (r *Registry) CrossingMatrix() map[[2]string]uint64 {
+	out := make(map[[2]string]uint64, len(r.pairCount))
+	for k, v := range r.pairCount {
+		out[k] = v
+	}
+	return out
+}

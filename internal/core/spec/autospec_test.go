@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func recordedFixture() *Recorder {
+	r := NewRecorder()
+	r.Observe("app", "libc", "recv")
+	r.Observe("app", "libc", "recv")
+	r.Observe("libc", "netstack", "recv")
+	r.Observe("netstack", "libc", "sem_up")
+	r.Observe("libc", "sched", "wake")
+	return r
+}
+
+func TestRecorderEdges(t *testing.T) {
+	r := recordedFixture()
+	if r.Count("app", "libc", "recv") != 2 {
+		t.Fatalf("Count = %d", r.Count("app", "libc", "recv"))
+	}
+	edges := r.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// Sorted: app < libc < netstack.
+	if edges[0].From != "app" || edges[len(edges)-1].From != "netstack" {
+		t.Fatalf("edges not sorted: %v", edges)
+	}
+	libs := r.Libraries()
+	if len(libs) != 4 || libs[0] != "app" || libs[3] != "sched" {
+		t.Fatalf("Libraries = %v", libs)
+	}
+}
+
+func TestGenerateDrafts(t *testing.T) {
+	r := recordedFixture()
+	drafts := r.GenerateDrafts()
+	byName := map[string]*Library{}
+	for _, l := range drafts {
+		byName[l.Name] = l
+	}
+	libc := byName["libc"]
+	if libc == nil {
+		t.Fatal("no libc draft")
+	}
+	// Incoming edges become API.
+	if !libc.Spec.ExportsAPI("recv") || !libc.Spec.ExportsAPI("sem_up") {
+		t.Fatalf("libc API = %v", libc.Spec.API)
+	}
+	// Outgoing edges become analysis calls.
+	found := false
+	for _, c := range libc.Analysis.Calls {
+		if c == "netstack::recv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("libc analysis calls = %v", libc.Analysis.Calls)
+	}
+	// Memory behaviour stays conservative.
+	if !libc.Spec.Writes.All || !libc.Spec.Calls.All {
+		t.Fatal("draft narrowed memory/call behaviour without proof")
+	}
+	// Drafts are hardenable: CFI narrows to the observed call list.
+	h, err := Harden(libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec.Calls.All || !h.Spec.Calls.Contains("netstack::recv") {
+		t.Fatalf("hardened draft calls = %v", h.Spec.Calls)
+	}
+}
+
+func TestRenderedMetadataRoundTrips(t *testing.T) {
+	r := recordedFixture()
+	rendered := r.RenderMetadata()
+	libs, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("generated metadata does not parse: %v\n%s", err, rendered)
+	}
+	if len(libs) != 4 {
+		t.Fatalf("parsed %d libraries", len(libs))
+	}
+	if HasErrors(LintAll(libs)) {
+		t.Fatalf("generated metadata has lint errors: %v", LintAll(libs))
+	}
+	if !strings.Contains(rendered, "generated from observed behaviour") {
+		t.Fatal("missing review banner")
+	}
+}

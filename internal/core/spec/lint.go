@@ -1,0 +1,177 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper's §5 asks: "who verifies the specification/metadata? The
+// process of writing metadata is error prone". Lint is the first line
+// of defense: it cross-checks each library's declarations against each
+// other and against the static-analysis ground truth, catching the
+// inconsistencies that would otherwise silently produce an unsound
+// compartmentalization.
+
+// Severity grades a lint finding.
+type Severity int
+
+// Severities.
+const (
+	// Warning marks metadata that is suspicious but not unsound.
+	Warning Severity = iota
+	// Error marks metadata that would make derived plans unsound.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Problem is one lint finding.
+type Problem struct {
+	Lib      string
+	Severity Severity
+	Msg      string
+}
+
+// String implements fmt.Stringer.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: %s: %s", p.Severity, p.Lib, p.Msg)
+}
+
+// Lint checks one library's metadata for internal consistency.
+func Lint(l *Library) []Problem {
+	var out []Problem
+	add := func(sev Severity, format string, args ...any) {
+		out = append(out, Problem{Lib: l.Name, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	apiSet := make(map[string]bool, len(l.Spec.API))
+	for _, fn := range l.Spec.API {
+		apiSet[fn] = true
+	}
+
+	// Requires Call grants must reference exported entry points (or
+	// the wildcard): granting calls to a function you do not export is
+	// meaningless and usually a typo.
+	for _, r := range l.Spec.Requires {
+		if r.Verb != VerbCall || r.Object == "*" {
+			continue
+		}
+		if !apiSet[r.Object] {
+			add(Error, "Requires grants *(Call,%s) but %q is not in [API]", r.Object, r.Object)
+		}
+	}
+
+	// Preconditions must attach to exported entry points.
+	for fn := range l.Spec.Preconditions {
+		if !apiSet[fn] {
+			add(Error, "[Preconditions] names %q which is not in [API]", fn)
+		}
+	}
+
+	// Under-declared calls: the analysis observed calls the metadata
+	// does not admit. A compatibility decision based on the narrower
+	// declaration would be unsound.
+	if !l.Spec.Calls.All {
+		for _, fn := range l.Analysis.Calls {
+			if !l.Spec.Calls.Contains(fn) {
+				add(Error, "[Analysis] observes a call to %s that [Call] does not declare", fn)
+			}
+		}
+	}
+
+	// Under-declared writes/reads: analysis saw wildcard behaviour the
+	// metadata narrows without an SH variant — unsound the other way.
+	if l.Analysis.Writes.All && !l.Spec.Writes.All {
+		add(Error, "[Analysis] observes wildcard writes but [Memory access] declares Write%s", l.Spec.Writes)
+	}
+	if l.Analysis.Reads.All && !l.Spec.Reads.All {
+		add(Error, "[Analysis] observes wildcard reads but [Memory access] declares Read%s", l.Spec.Reads)
+	}
+
+	// A wildcard library without analysis ground truth cannot be
+	// hardened (no call list / data-flow result to narrow to) — legal,
+	// but it forecloses half the design space.
+	if l.Spec.Calls.All && len(l.Analysis.Calls) == 0 {
+		add(Warning, "Call(*) with no [Analysis] calls: CFI hardening cannot narrow this library")
+	}
+	if (l.Spec.Writes.All || l.Spec.Reads.All) && l.Analysis.Writes.Empty() && l.Analysis.Reads.Empty() {
+		add(Warning, "wildcard memory access with no [Analysis] data flow: DFI hardening cannot narrow this library")
+	}
+
+	// A library with Requires but an empty API cannot be called at
+	// all by constrained cohabitants.
+	hasCallGrant := false
+	for _, r := range l.Spec.Requires {
+		if r.Verb == VerbCall {
+			hasCallGrant = true
+		}
+	}
+	if l.Spec.HasRequirements() && !hasCallGrant && len(l.Spec.API) > 0 {
+		add(Warning, "[Requires] grants no *(Call,...) although [API] exports %s: cohabitants cannot call it",
+			strings.Join(l.Spec.API, ", "))
+	}
+
+	return out
+}
+
+// LintAll lints every library and the set as a whole (duplicate names,
+// dangling cross-library call targets).
+func LintAll(libs []*Library) []Problem {
+	var out []Problem
+	byName := make(map[string]*Library, len(libs))
+	for _, l := range libs {
+		if _, dup := byName[l.Name]; dup {
+			out = append(out, Problem{Lib: l.Name, Severity: Error, Msg: "duplicate library name"})
+			continue
+		}
+		byName[l.Name] = l
+	}
+	for _, l := range libs {
+		out = append(out, Lint(l)...)
+		// Cross-library: declared calls should target known libraries'
+		// exported functions.
+		for _, fn := range l.Spec.Calls.Funcs {
+			lib, name, ok := splitQualifiedFn(fn)
+			if !ok {
+				out = append(out, Problem{Lib: l.Name, Severity: Warning,
+					Msg: fmt.Sprintf("[Call] entry %q is not lib::fn qualified", fn)})
+				continue
+			}
+			target, known := byName[lib]
+			if !known {
+				out = append(out, Problem{Lib: l.Name, Severity: Warning,
+					Msg: fmt.Sprintf("[Call] targets unknown library %q", lib)})
+				continue
+			}
+			if len(target.Spec.API) > 0 && !target.Spec.ExportsAPI(name) {
+				out = append(out, Problem{Lib: l.Name, Severity: Error,
+					Msg: fmt.Sprintf("[Call] targets %s which %s does not export", fn, lib)})
+			}
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any problem is an Error.
+func HasErrors(problems []Problem) bool {
+	for _, p := range problems {
+		if p.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+func splitQualifiedFn(fn string) (lib, name string, ok bool) {
+	i := strings.Index(fn, "::")
+	if i <= 0 || i+2 >= len(fn) {
+		return "", "", false
+	}
+	return fn[:i], fn[i+2:], true
+}

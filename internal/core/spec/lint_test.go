@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOne(t *testing.T, src string) []Problem {
+	t.Helper()
+	libs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lint(libs[0])
+}
+
+func TestLintCleanLibrary(t *testing.T) {
+	for _, l := range DefaultImage() {
+		for _, p := range Lint(l) {
+			if p.Severity == Error {
+				t.Errorf("default image %s: %v", l.Name, p)
+			}
+		}
+	}
+	if HasErrors(LintAll(DefaultImage())) {
+		t.Fatal("default image has lint errors")
+	}
+}
+
+func TestLintUngrantedCallRequirement(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] open(...)
+  [Requires] *(Call,clse)
+}
+`)
+	if !HasErrors(ps) || !strings.Contains(ps[0].Msg, `"clse" is not in [API]`) {
+		t.Fatalf("problems = %v", ps)
+	}
+}
+
+func TestLintPreconditionWithoutAPI(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] open(...)
+  [Preconditions] close: is_open
+}
+`)
+	if !HasErrors(ps) {
+		t.Fatalf("problems = %v", ps)
+	}
+}
+
+func TestLintUnderDeclaredCalls(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] b::x
+  [Analysis] calls(b::x, c::hidden)
+}
+`)
+	if !HasErrors(ps) {
+		t.Fatalf("under-declared call not caught: %v", ps)
+	}
+}
+
+func TestLintUnderDeclaredMemory(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [Analysis] writes(*)
+}
+`)
+	if !HasErrors(ps) {
+		t.Fatalf("under-declared writes not caught: %v", ps)
+	}
+}
+
+func TestLintUnhardenableWildcard(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+}
+`)
+	if HasErrors(ps) {
+		t.Fatalf("warnings escalated to errors: %v", ps)
+	}
+	if len(ps) < 2 {
+		t.Fatalf("missing unhardenable warnings: %v", ps)
+	}
+}
+
+func TestLintNoCallGrantWarning(t *testing.T) {
+	ps := lintOne(t, `
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] open(...)
+  [Requires] *(Read,Own)
+}
+`)
+	found := false
+	for _, p := range ps {
+		if p.Severity == Warning && strings.Contains(p.Msg, "cohabitants cannot call") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing no-call-grant warning: %v", ps)
+	}
+}
+
+func TestLintAllCrossLibrary(t *testing.T) {
+	libs, err := Parse(`
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] b::open, b::hidden, unqualified, ghost::x
+}
+library b {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] open(...)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := LintAll(libs)
+	var sawHidden, sawUnqualified, sawGhost bool
+	for _, p := range ps {
+		switch {
+		case strings.Contains(p.Msg, "b::hidden"):
+			sawHidden = p.Severity == Error
+		case strings.Contains(p.Msg, "unqualified"):
+			sawUnqualified = true
+		case strings.Contains(p.Msg, `unknown library "ghost"`):
+			sawGhost = true
+		}
+	}
+	if !sawHidden || !sawUnqualified || !sawGhost {
+		t.Fatalf("cross-library findings missing: %v", ps)
+	}
+}
+
+func TestLintAllDuplicateNames(t *testing.T) {
+	libs, err := Parse(`
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+}
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := LintAll(libs)
+	if !HasErrors(ps) {
+		t.Fatalf("duplicate name not caught: %v", ps)
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := Problem{Lib: "x", Severity: Error, Msg: "boom"}
+	if p.String() != "error: x: boom" {
+		t.Fatal(p.String())
+	}
+}

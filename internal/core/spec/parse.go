@@ -1,0 +1,350 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a metadata file containing one or more library blocks:
+//
+//	# FlexOS library metadata
+//	library scheduler {
+//	    [Memory access] Read(Own,Shared); Write(Own,Shared)
+//	    [Call] alloc::malloc, alloc::free
+//	    [API] thread_add(...); thread_rm(...); yield(...)
+//	    [Requires] *(Read,Own), *(Write,Shared), *(Call,thread_add)
+//	    [Analysis] calls(alloc::malloc); writes(Own); reads(Own,Shared)
+//	    trusted
+//	}
+//
+// Lines starting with '#' are comments. The [Analysis] section and the
+// 'trusted' marker are FlexOS-build extensions: the former records
+// static-analysis ground truth consumed by the SH transformations, the
+// latter marks TCB components (scheduler/memory manager under MPK).
+func Parse(src string) ([]*Library, error) {
+	var libs []*Library
+	var cur *Library
+	for i, raw := range strings.Split(src, "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "library "):
+			if cur != nil {
+				return nil, fmt.Errorf("spec: line %d: nested library block", lineNo)
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, "library "))
+			name = strings.TrimSpace(strings.TrimSuffix(name, "{"))
+			if name == "" {
+				return nil, fmt.Errorf("spec: line %d: library block without name", lineNo)
+			}
+			cur = &Library{Name: name}
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("spec: line %d: '}' outside library block", lineNo)
+			}
+			libs = append(libs, cur)
+			cur = nil
+		case line == "trusted":
+			if cur == nil {
+				return nil, fmt.Errorf("spec: line %d: 'trusted' outside library block", lineNo)
+			}
+			cur.Trusted = true
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("spec: line %d: %q outside library block", lineNo, line)
+			}
+			if err := parseSection(cur, line); err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spec: unterminated library block %q", cur.Name)
+	}
+	return libs, nil
+}
+
+// ParseSpec parses a bare metadata block (sections only, no library
+// wrapper), as the paper prints them.
+func ParseSpec(src string) (*Spec, error) {
+	lib := &Library{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseSection(lib, line); err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", i+1, err)
+		}
+	}
+	return &lib.Spec, nil
+}
+
+func parseSection(lib *Library, line string) error {
+	if !strings.HasPrefix(line, "[") {
+		return fmt.Errorf("expected a [Section], got %q", line)
+	}
+	end := strings.Index(line, "]")
+	if end < 0 {
+		return fmt.Errorf("unterminated section header in %q", line)
+	}
+	section := strings.TrimSpace(line[1:end])
+	body := strings.TrimSpace(line[end+1:])
+	switch strings.ToLower(section) {
+	case "memory access":
+		return parseMemoryAccess(&lib.Spec, body)
+	case "call":
+		cs, err := parseCallList(body)
+		if err != nil {
+			return err
+		}
+		lib.Spec.Calls = cs
+		return nil
+	case "api":
+		lib.Spec.API = parseAPIList(body)
+		return nil
+	case "requires":
+		reqs, err := parseRequires(body)
+		if err != nil {
+			return err
+		}
+		lib.Spec.Requires = reqs
+		return nil
+	case "preconditions":
+		return parsePreconditions(&lib.Spec, body)
+	case "analysis":
+		return parseAnalysis(&lib.Analysis, body)
+	default:
+		return fmt.Errorf("unknown section %q", section)
+	}
+}
+
+// parseMemoryAccess handles "Read(Own,Shared); Write(*)".
+func parseMemoryAccess(s *Spec, body string) error {
+	for _, item := range splitTop(body, ';') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		verb, args, err := splitVerbArgs(item)
+		if err != nil {
+			return err
+		}
+		set, err := parseRegions(args)
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(verb) {
+		case "read":
+			s.Reads = set
+		case "write":
+			s.Writes = set
+		default:
+			return fmt.Errorf("unknown memory-access verb %q", verb)
+		}
+	}
+	return nil
+}
+
+func parseRegions(args []string) (RegionSet, error) {
+	var set RegionSet
+	for _, a := range args {
+		r, err := ParseRegion(a)
+		if err != nil {
+			return set, err
+		}
+		set = set.With(r)
+	}
+	return set, nil
+}
+
+// parseCallList handles "*" or "alloc::malloc, alloc::free".
+func parseCallList(body string) (CallSet, error) {
+	body = strings.TrimSpace(body)
+	if body == "*" {
+		return WildcardCalls, nil
+	}
+	if body == "" || body == "-" {
+		return CallSet{}, nil
+	}
+	var funcs []string
+	for _, f := range strings.Split(body, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if f == "*" {
+			return WildcardCalls, nil
+		}
+		funcs = append(funcs, f)
+	}
+	return NewCallSet(funcs...), nil
+}
+
+// parseAPIList handles "thread_add(...); thread_rm (. . . ); yield".
+func parseAPIList(body string) []string {
+	var api []string
+	for _, item := range splitTop(body, ';') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if p := strings.Index(item, "("); p >= 0 {
+			item = item[:p]
+		}
+		item = strings.TrimSpace(item)
+		if item != "" {
+			api = append(api, item)
+		}
+	}
+	return api
+}
+
+// parseRequires handles "*(Read,Own), *(Write,Shared), *(Call,thread_add), *...".
+func parseRequires(body string) ([]Requirement, error) {
+	var reqs []Requirement
+	for _, item := range splitTop(body, ',') {
+		item = strings.TrimSpace(item)
+		if item == "" || item == "*..." || item == "*. . ." {
+			continue // the paper elides trailing clauses with "*..."
+		}
+		if !strings.HasPrefix(item, "*(") || !strings.HasSuffix(item, ")") {
+			return nil, fmt.Errorf("malformed Requires clause %q", item)
+		}
+		inner := item[2 : len(item)-1]
+		parts := strings.SplitN(inner, ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("malformed Requires clause %q", item)
+		}
+		verb, err := ParseVerb(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		obj := strings.TrimSpace(parts[1])
+		if obj == "" {
+			return nil, fmt.Errorf("empty object in Requires clause %q", item)
+		}
+		if verb != VerbCall {
+			if _, err := ParseRegion(obj); err != nil {
+				return nil, fmt.Errorf("requires %s: %w", item, err)
+			}
+			// Normalize region spelling.
+			r, _ := ParseRegion(obj)
+			obj = r.String()
+		}
+		reqs = append(reqs, Requirement{Verb: verb, Object: obj})
+	}
+	return reqs, nil
+}
+
+// parsePreconditions handles "thread_add: not_added, valid_thread; yield: is_running".
+func parsePreconditions(s *Spec, body string) error {
+	for _, item := range splitTop(body, ';') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.SplitN(item, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("malformed precondition %q (want fn: pred, ...)", item)
+		}
+		fn := strings.TrimSpace(parts[0])
+		if fn == "" {
+			return fmt.Errorf("precondition without a function name in %q", item)
+		}
+		var preds []string
+		for _, p := range strings.Split(parts[1], ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				preds = append(preds, p)
+			}
+		}
+		if len(preds) == 0 {
+			return fmt.Errorf("precondition %q lists no predicates", item)
+		}
+		if s.Preconditions == nil {
+			s.Preconditions = make(map[string][]string)
+		}
+		s.Preconditions[fn] = append(s.Preconditions[fn], preds...)
+	}
+	return nil
+}
+
+// parseAnalysis handles "calls(a::b, c::d); writes(Own); reads(Own,Shared)".
+func parseAnalysis(a *Analysis, body string) error {
+	for _, item := range splitTop(body, ';') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		verb, args, err := splitVerbArgs(item)
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(verb) {
+		case "calls":
+			for _, f := range args {
+				if f = strings.TrimSpace(f); f != "" {
+					a.Calls = append(a.Calls, f)
+				}
+			}
+		case "writes":
+			set, err := parseRegions(args)
+			if err != nil {
+				return err
+			}
+			a.Writes = set
+		case "reads":
+			set, err := parseRegions(args)
+			if err != nil {
+				return err
+			}
+			a.Reads = set
+		default:
+			return fmt.Errorf("unknown analysis item %q", verb)
+		}
+	}
+	return nil
+}
+
+// splitVerbArgs turns "Read(Own, Shared)" into ("Read", ["Own","Shared"]).
+func splitVerbArgs(item string) (string, []string, error) {
+	open := strings.Index(item, "(")
+	if open < 0 || !strings.HasSuffix(item, ")") {
+		return "", nil, fmt.Errorf("expected Verb(args) in %q", item)
+	}
+	verb := strings.TrimSpace(item[:open])
+	inner := item[open+1 : len(item)-1]
+	var args []string
+	for _, a := range strings.Split(inner, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			args = append(args, a)
+		}
+	}
+	return verb, args, nil
+}
+
+// splitTop splits on sep outside parentheses.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

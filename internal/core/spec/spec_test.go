@@ -1,0 +1,473 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// schedulerMeta is the paper's verified-scheduler example, verbatim in
+// structure.
+const schedulerMeta = `
+[Memory access] Read(Own,Shared); Write(Own,Shared)
+[Call] alloc::malloc, alloc::free
+[API] thread_add(...); thread_rm(...); yield(...)
+[Requires] *(Read,Own), *(Write,Shared), *(Call,thread_add), *(Call,thread_rm), *(Call,yield)
+`
+
+// unsafeCMeta is the paper's potentially-hijackable C component.
+const unsafeCMeta = `
+[Memory access] Read(*); Write(*)
+[Call] *
+`
+
+func TestParsePaperSchedulerExample(t *testing.T) {
+	s, err := ParseSpec(schedulerMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reads.Own || !s.Reads.Shared || s.Reads.All {
+		t.Fatalf("Reads = %v", s.Reads)
+	}
+	if !s.Writes.Own || !s.Writes.Shared || s.Writes.All {
+		t.Fatalf("Writes = %v", s.Writes)
+	}
+	if s.Calls.All || len(s.Calls.Funcs) != 2 || !s.Calls.Contains("alloc::malloc") {
+		t.Fatalf("Calls = %v", s.Calls)
+	}
+	if len(s.API) != 3 || s.API[0] != "thread_add" || s.API[2] != "yield" {
+		t.Fatalf("API = %v", s.API)
+	}
+	if len(s.Requires) != 5 {
+		t.Fatalf("Requires = %v", s.Requires)
+	}
+	// The semantics the paper spells out: others may read Own but not
+	// write it; may write Shared; may call the listed API.
+	if !s.Permits(VerbRead, "Own") {
+		t.Fatal("Read(Own) should be permitted")
+	}
+	if s.Permits(VerbWrite, "Own") {
+		t.Fatal("Write(Own) must not be permitted")
+	}
+	if !s.Permits(VerbWrite, "Shared") {
+		t.Fatal("Write(Shared) should be permitted")
+	}
+	if !s.Permits(VerbCall, "thread_add") || s.Permits(VerbCall, "secret_fn") {
+		t.Fatal("Call permissions wrong")
+	}
+}
+
+func TestParseUnsafeCExample(t *testing.T) {
+	s, err := ParseSpec(unsafeCMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reads.All || !s.Writes.All || !s.Calls.All {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.HasRequirements() {
+		t.Fatal("unsafe C component has no Requires clause")
+	}
+	// "Since there is no Requires clause, other libraries should not
+	// be prevented from writing to memory owned by this library."
+	if !s.Permits(VerbWrite, "Own") {
+		t.Fatal("no-Requires spec must permit everything")
+	}
+}
+
+func TestParseLibraryBlocks(t *testing.T) {
+	src := `
+# two libraries
+library scheduler {
+  [Memory access] Read(Own,Shared); Write(Own,Shared)
+  [Call] alloc::malloc, alloc::free
+  [API] thread_add(...); yield(...)
+  [Requires] *(Read,Own), *(Write,Shared)
+  [Analysis] calls(alloc::malloc); writes(Own,Shared); reads(Own,Shared)
+  trusted
+}
+
+library wildc {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+  [Analysis] calls(sched::yield); writes(Own,Shared)
+}
+`
+	libs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(libs) != 2 {
+		t.Fatalf("len = %d", len(libs))
+	}
+	sched := libs[0]
+	if sched.Name != "scheduler" || !sched.Trusted {
+		t.Fatalf("scheduler = %+v", sched)
+	}
+	if len(sched.Analysis.Calls) != 1 || sched.Analysis.Calls[0] != "alloc::malloc" {
+		t.Fatalf("analysis = %+v", sched.Analysis)
+	}
+	if libs[1].Trusted {
+		t.Fatal("wildc must not be trusted")
+	}
+	if !libs[1].Spec.Writes.All {
+		t.Fatal("wildc writes wildcard lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"library a {",                    // unterminated
+		"}",                              // stray close
+		"[Call] *",                       // section outside block
+		"trusted",                        // marker outside block
+		"library a {\nlibrary b {\n}\n}", // nested
+		"library {\n}",                   // missing name
+		"library a {\n[Bogus] x\n}",      // unknown section
+		"library a {\nnot-a-section\n}",  // junk line
+		"library a {\n[Memory access] Explode(Own)\n}", // bad verb
+		"library a {\n[Memory access] Read(Mars)\n}",   // bad region
+		"library a {\n[Requires] Read,Own\n}",          // malformed clause
+		"library a {\n[Requires] *(Jump,Own)\n}",       // bad req verb
+		"library a {\n[Requires] *(Read,Mars)\n}",      // bad req region
+		"library a {\n[Requires] *(Read,)\n}",          // empty object
+		"library a {\n[Memory access] Read(Own\n}",     // unterminated args
+		"library a {\n[Analysis] explode(Own)\n}",      // bad analysis key
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	s1, err := ParseSpec(schedulerMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(s1.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s1.String(), err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("round trip changed spec:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestRequiresElision(t *testing.T) {
+	// The paper writes "*(Call, thread_add), *. . ." — the elision
+	// marker must be tolerated.
+	s, err := ParseSpec("[Requires] *(Read,Own), *...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Requires) != 1 {
+		t.Fatalf("Requires = %v", s.Requires)
+	}
+}
+
+func TestRegionSet(t *testing.T) {
+	s := NewRegionSet(RegionOwn)
+	if !s.Contains(RegionOwn) || s.Contains(RegionShared) {
+		t.Fatal("Contains wrong")
+	}
+	all := NewRegionSet(RegionAll)
+	if !all.Contains(RegionOwn) || !all.Contains(RegionShared) {
+		t.Fatal("wildcard must cover concrete regions")
+	}
+	if all.Contains(RegionAll) != false && !all.All {
+		t.Fatal("unexpected")
+	}
+	if !NewRegionSet().Empty() || s.Empty() {
+		t.Fatal("Empty wrong")
+	}
+	if all.String() != "(*)" || s.String() != "(Own)" {
+		t.Fatalf("String: %q %q", all.String(), s.String())
+	}
+}
+
+func TestCallSet(t *testing.T) {
+	c := NewCallSet("b::y", "a::x", "b::y")
+	if len(c.Funcs) != 2 || c.Funcs[0] != "a::x" {
+		t.Fatalf("dedup/sort failed: %v", c.Funcs)
+	}
+	if !c.Contains("a::x") || c.Contains("z::z") {
+		t.Fatal("Contains wrong")
+	}
+	if !WildcardCalls.Contains("anything") {
+		t.Fatal("wildcard Contains wrong")
+	}
+	if !(CallSet{}).Empty() || c.Empty() || WildcardCalls.Empty() {
+		t.Fatal("Empty wrong")
+	}
+}
+
+func TestApplyCFI(t *testing.T) {
+	libs, err := Parse(`
+library wildc {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+  [Analysis] calls(sched::yield, alloc::malloc)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := libs[0]
+	h, err := ApplyCFI(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec.Calls.All {
+		t.Fatal("CFI did not narrow Call(*)")
+	}
+	if !h.Spec.Calls.Contains("sched::yield") || !h.Spec.Calls.Contains("alloc::malloc") {
+		t.Fatalf("call list = %v", h.Spec.Calls)
+	}
+	if h.VariantName() != "wildc+cfi" {
+		t.Fatalf("variant name = %q", h.VariantName())
+	}
+	// Original untouched.
+	if !l.Spec.Calls.All {
+		t.Fatal("ApplyCFI mutated the original")
+	}
+	// Not applicable twice.
+	if _, err := ApplyCFI(h); err == nil {
+		t.Fatal("CFI applied to non-wildcard library")
+	}
+}
+
+func TestApplyDFI(t *testing.T) {
+	libs, err := Parse(`
+library wildc {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+  [Analysis] writes(Own); reads(Own,Shared)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ApplyDFI(libs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec.Writes.All || !h.Spec.Writes.Own || h.Spec.Writes.Shared {
+		t.Fatalf("Writes = %v", h.Spec.Writes)
+	}
+	if h.Spec.Reads.All || !h.Spec.Reads.Shared {
+		t.Fatalf("Reads = %v", h.Spec.Reads)
+	}
+
+	// Without analysis, DFI defaults to Own+Shared confinement.
+	libs2, _ := Parse("library w2 {\n[Memory access] Read(*); Write(*)\n[Call] *\n}")
+	h2, err := ApplyDFI(libs2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Spec.Writes.Own || !h2.Spec.Writes.Shared || h2.Spec.Writes.All {
+		t.Fatalf("default DFI writes = %v", h2.Spec.Writes)
+	}
+
+	// Not applicable to already-narrow libraries.
+	safe, _ := ParseSpec(schedulerMeta)
+	if _, err := ApplyDFI(&Library{Name: "s", Spec: *safe}); err == nil {
+		t.Fatal("DFI applied to narrow library")
+	}
+}
+
+func TestHardenAndVariants(t *testing.T) {
+	libs, _ := Parse(`
+library wildc {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+  [Analysis] calls(a::b); writes(Own,Shared); reads(Own,Shared)
+}
+library safe {
+  [Memory access] Read(Own); Write(Own)
+  [Call] a::b
+}
+`)
+	wild, safe := libs[0], libs[1]
+
+	h, err := Harden(wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec.Writes.All || h.Spec.Calls.All {
+		t.Fatal("Harden left wildcards")
+	}
+	if len(h.Hardened) != 2 {
+		t.Fatalf("Hardened = %v", h.Hardened)
+	}
+
+	if _, err := Harden(safe); err == nil {
+		t.Fatal("Harden of safe library should be not-applicable")
+	}
+
+	if v := Variants(wild); len(v) != 2 {
+		t.Fatalf("wild variants = %d, want 2", len(v))
+	}
+	if v := Variants(safe); len(v) != 1 {
+		t.Fatalf("safe variants = %d, want 1", len(v))
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	libs, _ := Parse(`
+library w1 {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+}
+library w2 {
+  [Memory access] Read(*); Write(*)
+  [Call] *
+}
+library safe {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+}
+`)
+	combos, err := Combinations(libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 4 { // 2 * 2 * 1
+		t.Fatalf("combos = %d, want 4", len(combos))
+	}
+	for _, c := range combos {
+		if len(c) != 3 {
+			t.Fatalf("combo width = %d", len(c))
+		}
+		if c[2].Name != "safe" {
+			t.Fatal("order not preserved")
+		}
+	}
+	// First combo is all-original, last is all-hardened.
+	if len(combos[0][0].Hardened) != 0 || len(combos[3][1].Hardened) == 0 {
+		t.Fatal("combination ordering unexpected")
+	}
+}
+
+func TestSpecStringContainsSections(t *testing.T) {
+	s, _ := ParseSpec(schedulerMeta)
+	out := s.String()
+	for _, want := range []string{"[Memory access]", "[Call]", "[API]", "[Requires]", "*(Read,Own)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerbRegionStrings(t *testing.T) {
+	if VerbRead.String() != "Read" || VerbWrite.String() != "Write" || VerbCall.String() != "Call" {
+		t.Fatal("verb strings wrong")
+	}
+	if RegionOwn.String() != "Own" || RegionAll.String() != "*" {
+		t.Fatal("region strings wrong")
+	}
+	if _, err := ParseVerb("nope"); err == nil {
+		t.Fatal("bad verb parsed")
+	}
+}
+
+func TestParsePreconditions(t *testing.T) {
+	libs, err := Parse(`
+library sched {
+  [Memory access] Read(Own); Write(Own)
+  [Call] -
+  [API] thread_add(...); thread_rm(...)
+  [Preconditions] thread_add: not_already_added, valid_thread; thread_rm: is_added
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := libs[0].Spec.Preconditions
+	if len(pc["thread_add"]) != 2 || pc["thread_add"][0] != "not_already_added" {
+		t.Fatalf("thread_add preds = %v", pc["thread_add"])
+	}
+	if len(pc["thread_rm"]) != 1 || pc["thread_rm"][0] != "is_added" {
+		t.Fatalf("thread_rm preds = %v", pc["thread_rm"])
+	}
+	// Round trip through String.
+	s2, err := ParseSpec(libs[0].Spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Preconditions["thread_add"]) != 2 {
+		t.Fatalf("round trip lost preconditions: %v", s2.Preconditions)
+	}
+	// Clone is deep.
+	c := libs[0].Clone()
+	c.Spec.Preconditions["thread_add"][0] = "mutated"
+	if pc["thread_add"][0] != "not_already_added" {
+		t.Fatal("Clone shares precondition slices")
+	}
+}
+
+func TestParsePreconditionErrors(t *testing.T) {
+	bad := []string{
+		"library a {\n[Preconditions] justafunction\n}",
+		"library a {\n[Preconditions] : pred\n}",
+		"library a {\n[Preconditions] fn:\n}",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	libs, _ := Parse(`
+library a {
+  [Memory access] Read(Own); Write(Own)
+  [Call] x::y
+  [API] f(...)
+  [Requires] *(Read,Own)
+  [Analysis] calls(x::y)
+}
+`)
+	l := libs[0]
+	c := l.Clone()
+	c.Spec.API[0] = "mutated"
+	c.Spec.Requires[0].Object = "Shared"
+	c.Spec.Calls.Funcs[0] = "mutated"
+	c.Analysis.Calls[0] = "mutated"
+	if l.Spec.API[0] != "f" || l.Spec.Requires[0].Object != "Own" ||
+		l.Spec.Calls.Funcs[0] != "x::y" || l.Analysis.Calls[0] != "x::y" {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+// Property: the parser never panics on arbitrary input and either
+// returns libraries or an error.
+func TestParserNoPanicProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		libs, err := Parse(string(raw))
+		if err == nil {
+			// Whatever parsed must survive linting and printing.
+			_ = LintAll(libs)
+			for _, l := range libs {
+				_ = l.Spec.String()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Structured-ish garbage too.
+	seeds := []string{
+		"library x {\n[Memory access] Read(",
+		"library x {\n[[[[",
+		"library {}{}{}",
+		"[Requires] *(((((",
+		"library a {\n[Call] " + strings.Repeat("x,", 500) + "\n}",
+	}
+	for _, s := range seeds {
+		_, _ = Parse(s)
+	}
+}

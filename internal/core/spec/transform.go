@@ -1,0 +1,146 @@
+package spec
+
+import "fmt"
+
+// Software-hardening technique names used in Library.Hardened.
+const (
+	// TechCFI is control-flow integrity: forward edges are restricted
+	// to targets found by control-flow analysis.
+	TechCFI = "cfi"
+	// TechDFI is data-flow integrity (ASAN-style in the prototype):
+	// writes are restricted to what data-flow analysis observes.
+	TechDFI = "dfi"
+)
+
+// ErrNotApplicable reports an SH transformation that would not change
+// the library's metadata.
+var ErrNotApplicable = fmt.Errorf("spec: hardening not applicable")
+
+// ApplyCFI returns a copy of l with control-flow integrity enabled:
+// a library that previously declared Call(*) is transformed into
+// Call(func list) where the list is populated by a standard
+// control-flow analysis (carried in l.Analysis.Calls).
+func ApplyCFI(l *Library) (*Library, error) {
+	if !l.Spec.Calls.All {
+		return nil, fmt.Errorf("%w: %s does not declare Call(*)", ErrNotApplicable, l.Name)
+	}
+	out := l.Clone()
+	out.Spec.Calls = NewCallSet(l.Analysis.Calls...)
+	out.Hardened = append(out.Hardened, TechCFI)
+	return out, nil
+}
+
+// ApplyDFI returns a copy of l with data-flow integrity (DFI/ASAN)
+// enabled: if the data-flow graph shows all the library's writes go to
+// its own (and shared) data, Write(*) is narrowed accordingly; reads
+// are narrowed the same way.
+func ApplyDFI(l *Library) (*Library, error) {
+	if !l.Spec.Writes.All && !l.Spec.Reads.All {
+		return nil, fmt.Errorf("%w: %s declares no wildcard accesses", ErrNotApplicable, l.Name)
+	}
+	out := l.Clone()
+	if l.Spec.Writes.All {
+		w := l.Analysis.Writes
+		if w.Empty() {
+			// Without analysis results, the instrumentation still
+			// confines writes to own+shared data (out-of-bounds and
+			// cross-object writes trap).
+			w = NewRegionSet(RegionOwn, RegionShared)
+		}
+		out.Spec.Writes = w
+	}
+	if l.Spec.Reads.All {
+		r := l.Analysis.Reads
+		if r.Empty() {
+			r = NewRegionSet(RegionOwn, RegionShared)
+		}
+		out.Spec.Reads = r
+	}
+	out.Hardened = append(out.Hardened, TechDFI)
+	return out, nil
+}
+
+// ApplicableTechniques reports which SH techniques would change l's
+// metadata, following the paper's enumeration rule: for each library
+// that writes to all memory, enable DFI/ASAN; for each library that
+// can execute arbitrary code, enable CFI.
+func ApplicableTechniques(l *Library) []string {
+	var out []string
+	if l.Spec.Writes.All || l.Spec.Reads.All {
+		out = append(out, TechDFI)
+	}
+	if l.Spec.Calls.All {
+		out = append(out, TechCFI)
+	}
+	return out
+}
+
+// Harden applies every applicable technique and returns the fully
+// hardened variant, or ErrNotApplicable if none applies.
+func Harden(l *Library) (*Library, error) {
+	techs := ApplicableTechniques(l)
+	if len(techs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotApplicable, l.Name)
+	}
+	out := l
+	for _, t := range techs {
+		var err error
+		switch t {
+		case TechDFI:
+			out, err = ApplyDFI(out)
+		case TechCFI:
+			out, err = ApplyCFI(out)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Variants returns the deployable versions of a library: the original,
+// plus — when hardening changes its metadata — the SH variant. This is
+// the "list of libraries that have two versions: one with SH, and one
+// without" of the paper.
+func Variants(l *Library) []*Library {
+	out := []*Library{l}
+	if h, err := Harden(l); err == nil {
+		out = append(out, h)
+	}
+	return out
+}
+
+// MaxCombinations bounds Combinations' output to keep the design-space
+// enumeration tractable.
+const MaxCombinations = 1 << 16
+
+// Combinations iterates through all combinations of library versions:
+// for each library with an SH variant, both choices are explored. The
+// result is a list of candidate image compositions, each a slice with
+// one variant per input library (input order preserved).
+func Combinations(libs []*Library) ([][]*Library, error) {
+	variants := make([][]*Library, len(libs))
+	total := 1
+	for i, l := range libs {
+		variants[i] = Variants(l)
+		total *= len(variants[i])
+		if total > MaxCombinations {
+			return nil, fmt.Errorf("spec: %d libraries yield more than %d combinations", len(libs), MaxCombinations)
+		}
+	}
+	combos := make([][]*Library, 0, total)
+	cur := make([]*Library, len(libs))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(libs) {
+			combos = append(combos, append([]*Library(nil), cur...))
+			return
+		}
+		for _, v := range variants[i] {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return combos, nil
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"flexos/internal/core/build"
+	"flexos/internal/core/explore"
+	"flexos/internal/core/spec"
+)
+
+// RecordRedisMetadata runs the Redis workload with the gate registry's
+// observer tapped and returns the recorder plus the draft metadata it
+// generates — the paper's §5 semi-automatic metadata generation, fed
+// by a representative workload.
+func RecordRedisMetadata(payloadBytes, ops int) (*spec.Recorder, string, error) {
+	rec := spec.NewRecorder()
+	_, err := runRedis(build.Config{Name: "autospec"}, OpGET, payloadBytes, ops,
+		func(w *build.World) {
+			w.Server.Registry.SetObserver(rec.Observe)
+		})
+	if err != nil {
+		return nil, "", err
+	}
+	return rec, rec.RenderMetadata(), nil
+}
+
+// MeasureWorkload derives the explorer's workload profile from an
+// observed baseline run instead of hand-tuned rates: per-operation
+// cross-library call rates from the recorder, the per-operation
+// baseline cost from the virtual clock. The SH taxes keep their
+// calibrated defaults (they come from instrumentation density, which
+// call counting cannot see).
+func MeasureWorkload(payloadBytes, ops int) (explore.Workload, error) {
+	rec := spec.NewRecorder()
+	res, err := runRedis(build.Config{Name: "workload"}, OpGET, payloadBytes, ops,
+		func(w *build.World) {
+			w.Server.Registry.SetObserver(rec.Observe)
+		})
+	if err != nil {
+		return explore.Workload{}, err
+	}
+	w := explore.DefaultWorkload()
+	w.BaseCycles = float64(res.ServerCycles) / float64(res.Ops)
+	rates := make(map[[2]string]float64)
+	for _, e := range rec.Edges() {
+		rates[[2]string{e.From, e.To}] += float64(rec.Count(e.From, e.To, e.Fn)) / float64(res.Ops)
+	}
+	w.CallRates = rates
+	return w, nil
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatFig3 renders the Fig. 3 sweep as an aligned text table,
+// series as columns.
+func FormatFig3(r *Fig3Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: iperf throughput (Mb/s) vs recv buffer size\n")
+	fmt.Fprintf(&b, "%-10s", "buf(B)")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	b.WriteString("\n")
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%-10d", r.Series[0].Points[i].RecvBuf)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, " %16.1f", s.Points[i].Mbps)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1 with measured and paper values.
+func FormatTable1(r *Table1Result) string {
+	var b strings.Builder
+	b.WriteString("Table 1: iperf throughput with SH on various components\n")
+	fmt.Fprintf(&b, "baseline (no SH): %.2f Gb/s (paper: 2.94 Gb/s)\n", r.BaselineGbps)
+	fmt.Fprintf(&b, "%-20s %18s %18s %14s %14s\n",
+		"Component C", "SH: all but C", "SH: C only", "paper all-but", "paper only")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %12.2f Gb/s %12.2f Gb/s %9.2f Gb/s %9.2f Gb/s\n",
+			row.Component, row.AllButCGbps, row.COnlyGbps, row.PaperAllButC, row.PaperCOnly)
+	}
+	b.WriteString("slowdowns (x vs baseline, C only): ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s %.2fx  ", row.Component, r.BaselineGbps/row.COnlyGbps)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatFig4 renders Fig. 4 grouped by payload and operation.
+func FormatFig4(r *Fig4Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Redis throughput (kreq/s) under SH configs and the verified scheduler\n")
+	// Collect config order as first seen.
+	var configs []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Config] {
+			seen[c.Config] = true
+			configs = append(configs, c.Config)
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", "payload/op")
+	for _, cfg := range configs {
+		fmt.Fprintf(&b, " %16s", cfg)
+	}
+	b.WriteString("\n")
+	for _, payload := range Fig4Payloads {
+		for _, op := range []RedisOp{OpSET, OpGET} {
+			fmt.Fprintf(&b, "%-14s", fmt.Sprintf("%dB %s", payload, op))
+			for _, cfg := range configs {
+				for _, c := range r.Cells {
+					if c.Config == cfg && c.Op == op && c.Payload == payload {
+						fmt.Fprintf(&b, " %16.1f", c.KReqS)
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatFig5 renders Fig. 5 grouped by model and gate flavor.
+func FormatFig5(r *Fig5Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Redis GET throughput (kreq/s) with MPK isolation\n")
+	var cols []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		key := c.Model + "/" + c.Stack
+		if !seen[key] {
+			seen[key] = true
+			cols = append(cols, key)
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", "payload")
+	for _, col := range cols {
+		fmt.Fprintf(&b, " %18s", col)
+	}
+	b.WriteString("\n")
+	for _, payload := range Fig4Payloads {
+		fmt.Fprintf(&b, "%-10d", payload)
+		for _, col := range cols {
+			for _, c := range r.Cells {
+				if c.Model+"/"+c.Stack == col && c.Payload == payload {
+					fmt.Fprintf(&b, " %18.1f", c.KReqS)
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatCtxSwitch renders the latency microbenchmark.
+func FormatCtxSwitch(r *CtxSwitchResult) string {
+	return fmt.Sprintf(
+		"Context switch latency\n  C scheduler:        %.1f ns (paper: %.1f ns)\n  Verified scheduler: %.1f ns (paper: %.1f ns)  (%.2fx)\n",
+		r.CNanos, r.PaperCNanos, r.VerifiedNanos, r.PaperVNanos, r.VerifiedNanos/r.CNanos)
+}

@@ -1,0 +1,221 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4): Fig. 3 (iperf throughput across isolation
+// mechanisms), Table 1 (iperf under per-component software hardening),
+// Fig. 4 (Redis under SH and the verified scheduler), Fig. 5 (Redis
+// under MPK compartmentalization models) and the context-switch
+// latency microbenchmark.
+//
+// All measurements are taken in virtual time on the server machine —
+// deterministic, hardware independent, and calibrated so the *shape*
+// of every paper result (who wins, by roughly what factor, where the
+// crossovers fall) reproduces. Absolute Gb/s differ from the paper's
+// Xeon testbed; EXPERIMENTS.md records both.
+package harness
+
+import (
+	"fmt"
+
+	"flexos/internal/app/iperf"
+	"flexos/internal/app/redis"
+	"flexos/internal/clock"
+	"flexos/internal/core/build"
+	"flexos/internal/net"
+	"flexos/internal/sched"
+	"flexos/internal/trace"
+)
+
+// IperfResult is one iperf measurement.
+type IperfResult struct {
+	Label        string
+	RecvBuf      int
+	Bytes        uint64
+	ServerCycles uint64
+	Gbps         float64
+	Crossings    uint64
+	ByComponent  map[clock.Component]uint64
+}
+
+// RunIperf runs one iperf transfer over a world built from cfg and
+// measures server-side throughput.
+func RunIperf(cfg build.Config, totalBytes, recvBuf int) (*IperfResult, error) {
+	r, _, err := RunIperfTraced(cfg, totalBytes, recvBuf, 0)
+	return r, err
+}
+
+// RunIperfTraced is RunIperf with an optional server-side crossing
+// trace holding the last traceCap events (0 disables tracing).
+func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*IperfResult, *trace.Ring, error) {
+	// The evaluation images use the socket API over the tcpip thread,
+	// as Unikraft's lwip port does.
+	cfg.Net.SocketMode = net.TCPIPThreadMode
+	w, err := build.NewWorld(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ring *trace.Ring
+	if traceCap > 0 {
+		ring = w.Server.EnableTracing(traceCap)
+	}
+	srv := iperf.NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 5001, recvBuf)
+	cli := iperf.NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+		w.Server.Stack.IP(), 5001, totalBytes, 32<<10)
+	var srvErr, cliErr error
+	w.Sched.Spawn("iperf-server", w.Server.CPU, func(th *sched.Thread) {
+		srvErr = srv.Run(th)
+	})
+	w.Sched.Spawn("iperf-client", w.Client.CPU, func(th *sched.Thread) {
+		cliErr = cli.Run(th)
+	})
+	if err := w.Sched.Run(); err != nil {
+		return nil, nil, fmt.Errorf("harness iperf: %w", err)
+	}
+	if srvErr != nil {
+		return nil, nil, fmt.Errorf("harness iperf server: %w", srvErr)
+	}
+	if cliErr != nil {
+		return nil, nil, fmt.Errorf("harness iperf client: %w", cliErr)
+	}
+	if srv.BytesReceived != uint64(totalBytes) {
+		return nil, nil, fmt.Errorf("harness iperf: received %d of %d bytes", srv.BytesReceived, totalBytes)
+	}
+	cycles := w.Server.CPU.Cycles()
+	return &IperfResult{
+		Label:        cfg.Name,
+		RecvBuf:      recvBuf,
+		Bytes:        srv.BytesReceived,
+		ServerCycles: cycles,
+		Gbps:         clock.GbpsFor(srv.BytesReceived, cycles),
+		Crossings:    w.Server.Registry.TotalCrossings(),
+		ByComponent:  w.Server.CPU.ByComponent(),
+	}, ring, nil
+}
+
+// RedisOp selects the measured Redis operation.
+type RedisOp string
+
+// Measured operations.
+const (
+	OpSET RedisOp = "SET"
+	OpGET RedisOp = "GET"
+)
+
+// RedisResult is one Redis measurement.
+type RedisResult struct {
+	Label        string
+	Op           RedisOp
+	PayloadBytes int
+	Ops          uint64
+	ServerCycles uint64 // cycles spent on the measured ops only
+	KReqPerSec   float64
+	Crossings    uint64
+}
+
+// RedisPipeline is the pipelining depth of the benchmark client
+// (redis-benchmark -P): requests are issued in batches and replies
+// stream back through the server's output buffer, which is what pushes
+// per-request cost into the range where isolation and hardening
+// overheads are visible (the paper reports ~Mreq/s figures).
+const RedisPipeline = 8
+
+// RunRedis measures ops requests of the given kind against a server
+// built from cfg. Warmup (connection setup plus priming SETs) is
+// excluded exactly: the snapshot is taken while the server is parked
+// between requests, which virtual time makes precise.
+func RunRedis(cfg build.Config, op RedisOp, payloadBytes, ops int) (*RedisResult, error) {
+	return runRedis(cfg, op, payloadBytes, ops, nil)
+}
+
+// RunRedisWithMode is RunRedis with an explicit socket mode (0 direct,
+// 1 tcpip-thread), for the socket-architecture ablation.
+func RunRedisWithMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.SocketMode) (*RedisResult, error) {
+	return runRedisMode(cfg, op, payloadBytes, ops, mode, nil)
+}
+
+// runRedis implements RunRedis with an optional prep hook invoked on
+// the built world before the workload starts (observers, tracers).
+func runRedis(cfg build.Config, op RedisOp, payloadBytes, ops int, prep func(*build.World)) (*RedisResult, error) {
+	return runRedisMode(cfg, op, payloadBytes, ops, net.TCPIPThreadMode, prep)
+}
+
+func runRedisMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.SocketMode, prep func(*build.World)) (*RedisResult, error) {
+	cfg.Net.SocketMode = mode
+	w, err := build.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prep != nil {
+		prep(w)
+	}
+	srv := redis.NewServer(w.Server.Env("app"), w.Server.LibC, w.Server.Stack, 6379)
+	var srvErr, cliErr error
+	res := &RedisResult{Label: cfg.Name, Op: op, PayloadBytes: payloadBytes, Ops: uint64(ops)}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = 'a' + byte(i%26)
+	}
+	w.Sched.Spawn("redis-server", w.Server.CPU, func(th *sched.Thread) {
+		srvErr = srv.Run(th)
+	})
+	w.Sched.Spawn("redis-client", w.Client.CPU, func(th *sched.Thread) {
+		c := redis.NewClient(w.Client.Env("app"), w.Client.LibC, w.Client.Stack,
+			w.Server.Stack.IP(), 6379)
+		if cliErr = c.Connect(th); cliErr != nil {
+			return
+		}
+		// Warmup: prime the keyspace (and the connection).
+		const keys = 16
+		for i := 0; i < keys; i++ {
+			if cliErr = c.Set(th, fmt.Sprintf("key:%d", i), payload); cliErr != nil {
+				return
+			}
+		}
+		startCycles := w.Server.CPU.Cycles()
+		startCross := w.Server.Registry.TotalCrossings()
+		issued := 0
+		for issued < ops {
+			batch := RedisPipeline
+			if batch > ops-issued {
+				batch = ops - issued
+			}
+			cmds := make([][][]byte, 0, batch)
+			for i := 0; i < batch; i++ {
+				key := []byte(fmt.Sprintf("key:%d", (issued+i)%keys))
+				switch op {
+				case OpSET:
+					cmds = append(cmds, [][]byte{[]byte("SET"), key, payload})
+				case OpGET:
+					cmds = append(cmds, [][]byte{[]byte("GET"), key})
+				default:
+					cliErr = fmt.Errorf("harness redis: unknown op %q", op)
+					return
+				}
+			}
+			replies, err := c.DoPipelined(th, cmds)
+			if err != nil {
+				cliErr = err
+				return
+			}
+			for _, r := range replies {
+				if len(r) == 0 || r[0] == '-' {
+					cliErr = fmt.Errorf("harness redis: error reply %q", r)
+					return
+				}
+			}
+			issued += batch
+		}
+		res.ServerCycles = w.Server.CPU.Cycles() - startCycles
+		res.Crossings = w.Server.Registry.TotalCrossings() - startCross
+		cliErr = c.Close(th)
+	})
+	if err := w.Sched.Run(); err != nil {
+		return nil, fmt.Errorf("harness redis: %w", err)
+	}
+	if srvErr != nil {
+		return nil, fmt.Errorf("harness redis server: %w", srvErr)
+	}
+	if cliErr != nil {
+		return nil, fmt.Errorf("harness redis client: %w", cliErr)
+	}
+	res.KReqPerSec = clock.OpsPerSec(res.Ops, res.ServerCycles) / 1e3
+	return res, nil
+}

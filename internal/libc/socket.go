@@ -1,0 +1,136 @@
+package libc
+
+import (
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+	"flexos/internal/net"
+	"flexos/internal/sched"
+)
+
+// Socket shims: the POSIX-ish surface applications call. Each shim
+// charges the syscall-entry cost in LibC and forwards into the network
+// stack through the libc -> netstack gate, mirroring newlib-over-lwip
+// in the Unikraft prototype.
+
+// Listen binds a listening socket.
+func (l *LibC) Listen(st *net.Stack, port uint16, backlog int) (*net.Socket, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var s *net.Socket
+	err := l.env.CallFn("netstack", "listen", 2, func() error {
+		var err error
+		s, err = st.Listen(port, backlog)
+		return err
+	})
+	return s, err
+}
+
+// Accept blocks until a connection arrives.
+func (l *LibC) Accept(t *sched.Thread, listener *net.Socket) (*net.Socket, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var s *net.Socket
+	err := l.env.CallFn("netstack", "accept", 1, func() error {
+		var err error
+		s, err = listener.Accept(t)
+		return err
+	})
+	return s, err
+}
+
+// Connect opens a connection, blocking until established.
+func (l *LibC) Connect(t *sched.Thread, st *net.Stack, ip net.IPAddr, port uint16) (*net.Socket, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var s *net.Socket
+	err := l.env.CallFn("netstack", "connect", 3, func() error {
+		var err error
+		s, err = st.Connect(t, ip, port)
+		return err
+	})
+	return s, err
+}
+
+// Recv reads up to n bytes into the arena buffer at buf.
+func (l *LibC) Recv(t *sched.Thread, s *net.Socket, buf mem.Addr, n int) (int, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var got int
+	err := l.env.CallFn("netstack", "recv", 3, func() error {
+		var err error
+		got, err = s.Recv(t, buf, n)
+		return err
+	})
+	return got, err
+}
+
+// Send writes n bytes from the arena buffer at buf.
+func (l *LibC) Send(t *sched.Thread, s *net.Socket, buf mem.Addr, n int) (int, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var sent int
+	err := l.env.CallFn("netstack", "send", 3, func() error {
+		var err error
+		sent, err = s.Send(t, buf, n)
+		return err
+	})
+	return sent, err
+}
+
+// Close shuts the connection down.
+func (l *LibC) Close(t *sched.Thread, s *net.Socket) error {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	return l.env.CallFn("netstack", "close", 1, func() error {
+		return s.Close(t)
+	})
+}
+
+// UDPBind binds a datagram socket.
+func (l *LibC) UDPBind(st *net.Stack, port uint16) (*net.UDPSocket, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var u *net.UDPSocket
+	err := l.env.CallFn("netstack", "udp_bind", 1, func() error {
+		var err error
+		u, err = st.UDPBind(port)
+		return err
+	})
+	return u, err
+}
+
+// SendTo transmits one datagram.
+func (l *LibC) SendTo(t *sched.Thread, u *net.UDPSocket, ip net.IPAddr, port uint16, buf mem.Addr, n int) error {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	return l.env.CallFn("netstack", "sendto", 4, func() error {
+		return u.SendTo(t, ip, port, buf, n)
+	})
+}
+
+// RecvFrom blocks for one datagram.
+func (l *LibC) RecvFrom(t *sched.Thread, u *net.UDPSocket, buf mem.Addr, n int) (int, net.IPAddr, uint16, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var (
+		got     int
+		src     net.IPAddr
+		srcPort uint16
+	)
+	err := l.env.CallFn("netstack", "recvfrom", 3, func() error {
+		var err error
+		got, src, srcPort, err = u.RecvFrom(t, buf, n)
+		return err
+	})
+	return got, src, srcPort, err
+}
+
+// UDPClose unbinds a datagram socket.
+func (l *LibC) UDPClose(u *net.UDPSocket) error {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	return l.env.CallFn("netstack", "udp_close", 1, func() error {
+		u.Close()
+		return nil
+	})
+}

@@ -1,0 +1,19 @@
+package mem
+
+// Allocator is the malloc/free surface every FlexOS component sees.
+// Concrete implementations are *Heap (the plain first-fit allocator)
+// and sh.ASANAllocator (the instrumented allocator with redzones and a
+// quarantine). The builder decides, per compartment, which
+// implementation backs the component — the paper's "separate memory
+// allocator per compartment" requirement.
+type Allocator interface {
+	// Alloc returns the address of a new allocation of size bytes.
+	Alloc(size int) (Addr, error)
+	// Free releases a previous allocation.
+	Free(addr Addr) error
+	// SizeOf reports the usable size of a live allocation, 0 if addr
+	// is not one.
+	SizeOf(addr Addr) uint64
+}
+
+var _ Allocator = (*Heap)(nil)

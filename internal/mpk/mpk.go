@@ -1,0 +1,285 @@
+// Package mpk simulates Intel Memory Protection Keys.
+//
+// Real MPK tags each page with one of 16 keys (stored in the page
+// table) and filters every load/store through the per-thread PKRU
+// register: two bits per key, access-disable and write-disable. A
+// single unprivileged instruction, WRPKRU, rewrites PKRU — which is
+// both what makes domain switching cheap (tens of cycles, no syscall)
+// and what makes the mechanism fragile: any compartment can execute
+// WRPKRU, so the FlexOS MPK backend must prevent unauthorized writes
+// via static analysis (ERIM), runtime checking (Hodor) or page-table
+// sealing. All three policies are modelled here.
+//
+// The package works against the paged arena of internal/mem: the page
+// table's key tags come from mem.Arena and every checked access
+// consults the current PKRU, so an out-of-compartment access faults
+// exactly where real hardware would raise a page fault with PK set.
+package mpk
+
+import (
+	"fmt"
+
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+)
+
+// PKRU is the protection-key rights register: two bits per key,
+// bit 2k = access-disable (AD), bit 2k+1 = write-disable (WD).
+// The zero value permits everything, as on real hardware.
+type PKRU uint32
+
+// PermitAll is the PKRU value that allows access to every key.
+const PermitAll PKRU = 0
+
+// DenyAll disables access to every key except key 0, which FlexOS
+// keeps for memory shared by all compartments.
+func DenyAll() PKRU {
+	var p PKRU
+	for k := mem.Key(1); k < mem.NumKeys; k++ {
+		p |= PKRU(0b11) << (2 * k)
+	}
+	return p
+}
+
+// CanRead reports whether PKRU permits reads of pages tagged k.
+func (p PKRU) CanRead(k mem.Key) bool {
+	return p&(1<<(2*k)) == 0
+}
+
+// CanWrite reports whether PKRU permits writes of pages tagged k.
+func (p PKRU) CanWrite(k mem.Key) bool {
+	return p&(0b11<<(2*k)) == 0
+}
+
+// Allow returns a copy of p with full access to key k.
+func (p PKRU) Allow(k mem.Key) PKRU {
+	return p &^ (0b11 << (2 * k))
+}
+
+// AllowRead returns a copy of p with read-only access to key k.
+func (p PKRU) AllowRead(k mem.Key) PKRU {
+	return (p &^ (0b11 << (2 * k))) | (0b10 << (2 * k))
+}
+
+// Deny returns a copy of p with no access to key k.
+func (p PKRU) Deny(k mem.Key) PKRU {
+	return p | (0b11 << (2 * k))
+}
+
+// DomainPKRU builds the PKRU for a compartment that may fully access
+// the listed keys (plus the shared key 0) and nothing else.
+func DomainPKRU(keys ...mem.Key) PKRU {
+	p := DenyAll()
+	for _, k := range keys {
+		p = p.Allow(k)
+	}
+	return p
+}
+
+// String renders the register as the list of accessible keys.
+func (p PKRU) String() string {
+	s := "pkru{"
+	first := true
+	for k := mem.Key(0); k < mem.NumKeys; k++ {
+		if !p.CanRead(k) {
+			continue
+		}
+		if !first {
+			s += ","
+		}
+		first = false
+		mode := "rw"
+		if !p.CanWrite(k) {
+			mode = "ro"
+		}
+		s += fmt.Sprintf("%d:%s", k, mode)
+	}
+	return s + "}"
+}
+
+// Fault describes a protection-key violation: the simulated equivalent
+// of a page fault with the PK error-code bit set.
+type Fault struct {
+	Addr  mem.Addr
+	Key   mem.Key
+	Write bool
+	PKRU  PKRU
+}
+
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mpk: protection key fault: %s of %#x (key %d) with %v",
+		op, f.Addr, f.Key, f.PKRU)
+}
+
+// SealPolicy selects how the backend prevents unauthorized PKRU writes.
+type SealPolicy int
+
+const (
+	// SealStatic models ERIM-style binary inspection: WRPKRU is free at
+	// run time because the binary was vetted ahead of time, but only
+	// registered domain values may ever be loaded.
+	SealStatic SealPolicy = iota
+	// SealRuntime models Hodor-style runtime checking: every WRPKRU
+	// pays an extra validation cost.
+	SealRuntime
+	// SealPageTable models page-table sealing: PKRU writes are
+	// mediated by the (trusted) memory manager at higher cost.
+	SealPageTable
+)
+
+// String implements fmt.Stringer.
+func (s SealPolicy) String() string {
+	switch s {
+	case SealStatic:
+		return "static"
+	case SealRuntime:
+		return "runtime"
+	case SealPageTable:
+		return "pagetable"
+	default:
+		return fmt.Sprintf("SealPolicy(%d)", int(s))
+	}
+}
+
+// sealExtraCycles is the per-WRPKRU surcharge of each policy.
+func (s SealPolicy) sealExtraCycles() uint64 {
+	switch s {
+	case SealRuntime:
+		return 14
+	case SealPageTable:
+		return 120
+	default:
+		return 0
+	}
+}
+
+// Unit is the simulated MPK hardware attached to one vCPU: the PKRU
+// register plus the arena whose page table it checks against.
+type Unit struct {
+	arena   *mem.Arena
+	cpu     *clock.CPU
+	pkru    PKRU
+	policy  SealPolicy
+	sealed  map[PKRU]bool // registered values when sealing is active
+	writes  uint64
+	faults  uint64
+	checked uint64
+}
+
+// New creates an MPK unit over the arena, charging gate costs to cpu.
+// The initial PKRU permits everything (the boot state).
+func New(a *mem.Arena, cpu *clock.CPU) *Unit {
+	return &Unit{arena: a, cpu: cpu, pkru: PermitAll, sealed: make(map[PKRU]bool)}
+}
+
+// SetPolicy selects the PKRU-integrity policy.
+func (u *Unit) SetPolicy(p SealPolicy) { u.policy = p }
+
+// Policy reports the active PKRU-integrity policy.
+func (u *Unit) Policy() SealPolicy { return u.policy }
+
+// RegisterDomain records a legitimate PKRU value; under SealStatic and
+// SealPageTable only registered values may be written.
+func (u *Unit) RegisterDomain(p PKRU) { u.sealed[p] = true }
+
+// PKRU reports the current register value.
+func (u *Unit) PKRU() PKRU { return u.pkru }
+
+// Writes reports how many WRPKRU instructions have executed.
+func (u *Unit) Writes() uint64 { return u.writes }
+
+// Faults reports how many protection faults were raised.
+func (u *Unit) Faults() uint64 { return u.faults }
+
+// Checked reports how many access checks were performed.
+func (u *Unit) Checked() uint64 { return u.checked }
+
+// WritePKRU executes WRPKRU: it charges the domain-switch cost (plus
+// the sealing policy's surcharge) and installs the new value. Under
+// sealing policies, loading an unregistered value is an integrity
+// violation and returns an error without changing the register.
+func (u *Unit) WritePKRU(p PKRU) error {
+	u.cpu.Charge(clock.CompGate, clock.CostWRPKRU+u.policy.sealExtraCycles())
+	u.writes++
+	if u.policy != SealRuntime && len(u.sealed) > 0 && !u.sealed[p] {
+		return fmt.Errorf("mpk: %v rejected by %v sealing", p, u.policy)
+	}
+	if u.policy == SealRuntime && len(u.sealed) > 0 && !u.sealed[p] {
+		return fmt.Errorf("mpk: %v rejected by runtime check", p)
+	}
+	u.pkru = p
+	return nil
+}
+
+// check validates one access against the page table and PKRU.
+func (u *Unit) check(addr mem.Addr, n int, write bool) error {
+	u.checked++
+	if n <= 0 {
+		return fmt.Errorf("mpk: bad access length %d", n)
+	}
+	first := addr &^ (mem.PageSize - 1)
+	for page := first; page < addr+mem.Addr(n); page += mem.PageSize {
+		k, err := u.arena.KeyAt(page)
+		if err != nil {
+			return err
+		}
+		ok := u.pkru.CanRead(k)
+		if write {
+			ok = u.pkru.CanWrite(k)
+		}
+		if !ok {
+			u.faults++
+			return &Fault{Addr: addr, Key: k, Write: write, PKRU: u.pkru}
+		}
+	}
+	return nil
+}
+
+// Load returns the bytes at [addr, addr+n) after a read check.
+// The returned slice aliases arena memory; callers copy if they keep it.
+func (u *Unit) Load(addr mem.Addr, n int) ([]byte, error) {
+	if err := u.check(addr, n, false); err != nil {
+		return nil, err
+	}
+	return u.arena.Bytes(addr, n)
+}
+
+// Store writes data at addr after a write check.
+func (u *Unit) Store(addr mem.Addr, data []byte) error {
+	if err := u.check(addr, len(data), true); err != nil {
+		return err
+	}
+	dst, err := u.arena.Bytes(addr, len(data))
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Copy moves n bytes from src to dst with both sides checked.
+func (u *Unit) Copy(dst, src mem.Addr, n int) error {
+	if err := u.check(src, n, false); err != nil {
+		return err
+	}
+	if err := u.check(dst, n, true); err != nil {
+		return err
+	}
+	s, err := u.arena.Bytes(src, n)
+	if err != nil {
+		return err
+	}
+	d, err := u.arena.Bytes(dst, n)
+	if err != nil {
+		return err
+	}
+	copy(d, s)
+	return nil
+}
+
+// Arena exposes the underlying arena for trusted infrastructure.
+func (u *Unit) Arena() *mem.Arena { return u.arena }

@@ -1,0 +1,279 @@
+// Package net implements the FlexOS network stack: a from-scratch
+// Ethernet/IPv4/TCP stack in the style of Unikraft's lwip micro-
+// library, written against the rt.Env porting surface so that the same
+// code runs under any compartmentalization.
+//
+// The stack does real work on real bytes — binary header encoding,
+// ones-complement checksums, sequence-number arithmetic, flow control,
+// retransmission — and charges the virtual clock as it goes. Bulk
+// payload copies are delegated to the LibC library through a call
+// gate, which is the architectural detail behind two of the paper's
+// findings: hardening LibC is expensive while hardening the network
+// stack is cheap (Table 1), and co-locating the network stack with the
+// scheduler does not remove crossings because semaphores live in LibC
+// (Fig. 5).
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes and constants.
+const (
+	EtherHdrLen = 14
+	IPHdrLen    = 20
+	TCPHdrLen   = 20
+	HdrLen      = EtherHdrLen + IPHdrLen + TCPHdrLen
+	// MSS is the TCP maximum segment size on our virtual link
+	// (1500 MTU minus IP and TCP headers).
+	MSS = 1460
+	// UDPHdrLen is the UDP header size.
+	UDPHdrLen = 8
+	// UDPHdrTotal is Ethernet+IP+UDP.
+	UDPHdrTotal = EtherHdrLen + IPHdrLen + UDPHdrLen
+	// etherTypeIPv4 tags IPv4 frames.
+	etherTypeIPv4 = 0x0800
+	// protoTCP and protoUDP are IPv4 protocol numbers.
+	protoTCP = 6
+	protoUDP = 17
+)
+
+// TCP flags.
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagPSH = 1 << 3
+	flagACK = 1 << 4
+)
+
+// Errors shared by the stack.
+var (
+	ErrMalformed    = errors.New("net: malformed packet")
+	ErrBadChecksum  = errors.New("net: bad checksum")
+	ErrConnReset    = errors.New("net: connection reset")
+	ErrConnClosed   = errors.New("net: connection closed")
+	ErrNotListening = errors.New("net: port not listening")
+	ErrInUse        = errors.New("net: port in use")
+	ErrTimeout      = errors.New("net: connection timed out")
+)
+
+// IPAddr is an IPv4 address.
+type IPAddr uint32
+
+// String renders dotted quad.
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IP4 builds an address from octets.
+func IP4(a, b, c, d byte) IPAddr {
+	return IPAddr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// header is the parsed representation of one TCP or UDP IPv4 frame.
+type header struct {
+	Proto            uint8 // protoTCP or protoUDP
+	SrcIP, DstIP     IPAddr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Wnd              uint16
+	PayloadLen       int
+}
+
+func (h *header) has(flag uint8) bool { return h.Flags&flag != 0 }
+
+// encodeFrame writes a full Ethernet+IPv4+TCP frame into buf, which
+// must be at least HdrLen+len(payload) long, and returns the frame
+// length. Checksums over the IP header and the TCP segment are
+// computed for real.
+func encodeFrame(buf []byte, h *header, payload []byte) (int, error) {
+	total := HdrLen + len(payload)
+	if len(buf) < total {
+		return 0, fmt.Errorf("%w: frame buffer too small (%d < %d)", ErrMalformed, len(buf), total)
+	}
+	// Ethernet: synthetic MACs derived from IPs.
+	copy(buf[0:6], macFor(h.DstIP))
+	copy(buf[6:12], macFor(h.SrcIP))
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EtherHdrLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPHdrLen+TCPHdrLen+len(payload)))
+	binary.BigEndian.PutUint16(ip[4:6], 0) // id
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	ip[8] = 64 // TTL
+	ip[9] = protoTCP
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum placeholder
+	binary.BigEndian.PutUint32(ip[12:16], uint32(h.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(h.DstIP))
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:IPHdrLen]))
+
+	// TCP.
+	tcp := ip[IPHdrLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], h.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], h.Ack)
+	tcp[12] = 5 << 4 // data offset
+	tcp[13] = h.Flags
+	binary.BigEndian.PutUint16(tcp[14:16], h.Wnd)
+	binary.BigEndian.PutUint16(tcp[16:18], 0) // checksum placeholder
+	binary.BigEndian.PutUint16(tcp[18:20], 0) // urgent
+	copy(tcp[TCPHdrLen:], payload)
+	binary.BigEndian.PutUint16(tcp[16:18],
+		transportChecksum(h.SrcIP, h.DstIP, protoTCP, tcp[:TCPHdrLen+len(payload)]))
+	return total, nil
+}
+
+// decodeFrame parses and verifies a TCP or UDP frame, returning the
+// header and the payload bytes (aliasing frame).
+func decodeFrame(frame []byte) (*header, []byte, error) {
+	if len(frame) < EtherHdrLen+IPHdrLen+UDPHdrLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != etherTypeIPv4 {
+		return nil, nil, fmt.Errorf("%w: not IPv4", ErrMalformed)
+	}
+	ip := frame[EtherHdrLen:]
+	if ip[0] != 0x45 || (ip[9] != protoTCP && ip[9] != protoUDP) {
+		return nil, nil, fmt.Errorf("%w: unsupported IP header", ErrMalformed)
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if EtherHdrLen+totalLen > len(frame) {
+		return nil, nil, fmt.Errorf("%w: bad IP length %d", ErrMalformed, totalLen)
+	}
+	if checksum(ip[:IPHdrLen]) != 0 {
+		return nil, nil, fmt.Errorf("%w: IP header", ErrBadChecksum)
+	}
+	h := &header{
+		Proto: ip[9],
+		SrcIP: IPAddr(binary.BigEndian.Uint32(ip[12:16])),
+		DstIP: IPAddr(binary.BigEndian.Uint32(ip[16:20])),
+	}
+	switch h.Proto {
+	case protoTCP:
+		if totalLen < IPHdrLen+TCPHdrLen {
+			return nil, nil, fmt.Errorf("%w: bad IP length %d", ErrMalformed, totalLen)
+		}
+		tcp := ip[IPHdrLen:totalLen]
+		if transportChecksum(h.SrcIP, h.DstIP, protoTCP, tcp) != 0 {
+			return nil, nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
+		}
+		h.SrcPort = binary.BigEndian.Uint16(tcp[0:2])
+		h.DstPort = binary.BigEndian.Uint16(tcp[2:4])
+		h.Seq = binary.BigEndian.Uint32(tcp[4:8])
+		h.Ack = binary.BigEndian.Uint32(tcp[8:12])
+		h.Flags = tcp[13]
+		h.Wnd = binary.BigEndian.Uint16(tcp[14:16])
+		h.PayloadLen = len(tcp) - TCPHdrLen
+		return h, tcp[TCPHdrLen:], nil
+	case protoUDP:
+		if totalLen < IPHdrLen+UDPHdrLen {
+			return nil, nil, fmt.Errorf("%w: bad IP length %d", ErrMalformed, totalLen)
+		}
+		udp := ip[IPHdrLen:totalLen]
+		udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
+		if udpLen != len(udp) {
+			return nil, nil, fmt.Errorf("%w: UDP length %d != %d", ErrMalformed, udpLen, len(udp))
+		}
+		if transportChecksum(h.SrcIP, h.DstIP, protoUDP, udp) != 0 {
+			return nil, nil, fmt.Errorf("%w: UDP datagram", ErrBadChecksum)
+		}
+		h.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+		h.DstPort = binary.BigEndian.Uint16(udp[2:4])
+		h.PayloadLen = len(udp) - UDPHdrLen
+		return h, udp[UDPHdrLen:], nil
+	}
+	return nil, nil, fmt.Errorf("%w: protocol %d", ErrMalformed, h.Proto)
+}
+
+// encodeUDPFrame writes a full Ethernet+IPv4+UDP frame into buf.
+func encodeUDPFrame(buf []byte, h *header, payload []byte) (int, error) {
+	total := UDPHdrTotal + len(payload)
+	if len(buf) < total {
+		return 0, fmt.Errorf("%w: frame buffer too small (%d < %d)", ErrMalformed, len(buf), total)
+	}
+	copy(buf[0:6], macFor(h.DstIP))
+	copy(buf[6:12], macFor(h.SrcIP))
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	ip := buf[EtherHdrLen:]
+	ip[0] = 0x45
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPHdrLen+UDPHdrLen+len(payload)))
+	binary.BigEndian.PutUint16(ip[4:6], 0)
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	ip[8] = 64
+	ip[9] = protoUDP
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(h.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(h.DstIP))
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:IPHdrLen]))
+
+	udp := ip[IPHdrLen:]
+	binary.BigEndian.PutUint16(udp[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHdrLen+len(payload)))
+	binary.BigEndian.PutUint16(udp[6:8], 0)
+	copy(udp[UDPHdrLen:], payload)
+	binary.BigEndian.PutUint16(udp[6:8],
+		transportChecksum(h.SrcIP, h.DstIP, protoUDP, udp[:UDPHdrLen+len(payload)]))
+	return total, nil
+}
+
+// checksum is the RFC 1071 ones-complement sum.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum covers a TCP segment or UDP datagram with the
+// IPv4 pseudo-header.
+func transportChecksum(src, dst IPAddr, proto uint8, seg []byte) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(src))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(dst))
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(seg)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// macFor derives a stable synthetic MAC from an IP.
+func macFor(ip IPAddr) []byte {
+	return []byte{0x02, 0x00, byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}
+
+// seqLess reports a < b in sequence space (RFC 1982 style).
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEq reports a <= b in sequence space.
+func seqLEq(a, b uint32) bool { return int32(a-b) <= 0 }

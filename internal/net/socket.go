@@ -1,0 +1,308 @@
+package net
+
+import (
+	"fmt"
+	"io"
+
+	"flexos/internal/mem"
+	"flexos/internal/sched"
+)
+
+// Sem is the semaphore surface the stack needs from LibC. The paper's
+// Fig. 5 analysis depends on semaphores being *LibC* objects: every
+// *contended* socket operation crosses from the network stack into
+// LibC and from there into the scheduler. The counter itself lives in
+// shared data (annotated shared during porting), so the uncontended
+// fast paths — TryDown, and Up with no waiters — are inlined at the
+// call site and cross nothing.
+type Sem interface {
+	// Down decrements, parking t while the count is zero.
+	Down(t *sched.Thread)
+	// TryDown decrements without blocking and reports success.
+	TryDown() bool
+	// Up increments and wakes one waiter.
+	Up()
+	// HasWaiters reports whether a thread is parked on the semaphore.
+	HasWaiters() bool
+}
+
+// Support is the set of LibC services the network stack links against
+// through call gates.
+type Support interface {
+	// Memcpy performs a bulk copy between arena buffers in LibC code
+	// (instrumented when LibC is hardened).
+	Memcpy(dst, src mem.Addr, n int) error
+	// NewSem creates a counting semaphore with an initial count.
+	NewSem(n int) Sem
+}
+
+// tcpState is the connection state machine.
+type tcpState int
+
+const (
+	stClosed tcpState = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinSent
+	stCloseWait
+)
+
+// String implements fmt.Stringer.
+func (s tcpState) String() string {
+	switch s {
+	case stClosed:
+		return "closed"
+	case stListen:
+		return "listen"
+	case stSynSent:
+		return "syn-sent"
+	case stSynRcvd:
+		return "syn-rcvd"
+	case stEstablished:
+		return "established"
+	case stFinSent:
+		return "fin-sent"
+	case stCloseWait:
+		return "close-wait"
+	default:
+		return fmt.Sprintf("tcpState(%d)", int(s))
+	}
+}
+
+// seg is one queued chunk of received payload. The stack is zero-copy
+// on receive: the socket takes ownership of the driver rx buffer and
+// the segment points at the payload within it; the buffer is released
+// once the application has consumed it.
+type seg struct {
+	base mem.Addr // rx buffer to free
+	addr mem.Addr // payload start within the buffer
+	off  int      // consumed prefix
+	n    int      // total payload bytes
+}
+
+// rtxSeg is an unacknowledged segment kept for retransmission as a
+// wire-format copy.
+type rtxSeg struct {
+	seq   uint32
+	flags uint8
+	frame []byte
+}
+
+// Socket is one TCP endpoint.
+type Socket struct {
+	stack *Stack
+	state tcpState
+
+	localIP    IPAddr
+	localPort  uint16
+	remoteIP   IPAddr
+	remotePort uint16
+
+	// Receive side.
+	rcvQ       []seg
+	rcvQueued  int
+	rcvWndCap  int
+	lastAdvWnd int
+	rcvNxt     uint32
+	rcvSem     Sem
+	rcvEOF     bool
+
+	// Send side.
+	iss      uint32
+	sndUna   uint32
+	sndNxt   uint32
+	sndWnd   int
+	rtx      []rtxSeg
+	rtxTimer *sched.Timer
+	sndSem   Sem
+
+	// Listener side.
+	acceptQ   []*Socket
+	acceptSem Sem
+	backlog   int
+	listener  *Socket // for accepted sockets: the listener to notify
+
+	// Connection establishment / teardown.
+	connSem Sem
+	sockErr error
+
+	// Delayed-ack state.
+	delAckPending int
+	delAckTimer   *sched.Timer
+}
+
+// State exposes the connection state name (for tests and diagnostics).
+func (s *Socket) State() string { return s.state.String() }
+
+// LocalPort reports the bound local port.
+func (s *Socket) LocalPort() uint16 { return s.localPort }
+
+// RemoteAddr reports the peer address.
+func (s *Socket) RemoteAddr() (IPAddr, uint16) { return s.remoteIP, s.remotePort }
+
+// Err reports a fatal socket error (reset), if any.
+func (s *Socket) Err() error { return s.sockErr }
+
+// inflight reports unacknowledged bytes.
+func (s *Socket) inflight() int { return int(s.sndNxt - s.sndUna) }
+
+// rcvWnd is the window to advertise, clamped to the 16-bit field.
+func (s *Socket) rcvWnd() int {
+	w := s.rcvWndCap - s.rcvQueued
+	if w < 0 {
+		w = 0
+	}
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return w
+}
+
+// Recv copies up to n bytes of received payload into the arena buffer
+// at dst, blocking while no data is available. It returns io.EOF after
+// the peer's FIN once the queue is drained.
+func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
+	st := s.stack
+	for {
+		if s.sockErr != nil {
+			return 0, s.sockErr
+		}
+		if len(s.rcvQ) > 0 {
+			break
+		}
+		if s.rcvEOF {
+			return 0, io.EOF
+		}
+		st.semDown(t, s.rcvSem)
+	}
+	// Drain under a single netstack -> libc crossing: the per-segment
+	// copies are LibC's memcpy (the instrumented hot loop of Table 1),
+	// batched like lwip's netbuf copy helper so the gate cost is per
+	// recv, not per segment.
+	copied := 0
+	err := st.env.CallFn("libc", "memcpy", 3, func() error {
+		for copied < n && len(s.rcvQ) > 0 {
+			sg := &s.rcvQ[0]
+			chunk := sg.n - sg.off
+			if chunk > n-copied {
+				chunk = n - copied
+			}
+			if err := st.sup.Memcpy(dst+mem.Addr(copied), sg.addr+mem.Addr(sg.off), chunk); err != nil {
+				return err
+			}
+			sg.off += chunk
+			copied += chunk
+			if sg.off == sg.n {
+				if err := st.env.Free(sg.base); err != nil {
+					return err
+				}
+				s.rcvQ = s.rcvQ[1:]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return copied, err
+	}
+	s.rcvQueued -= copied
+	// Advertise the opened window when it grew by at least one MSS
+	// since the last advertisement (classic window-update rule).
+	if s.state == stEstablished && s.rcvWnd()-s.lastAdvWnd >= MSS {
+		st.sendFlags(s, flagACK)
+	}
+	return copied, nil
+}
+
+// Send transmits n bytes from the arena buffer at src, blocking on
+// flow control, and returns when every byte has been handed to the
+// wire (not necessarily acknowledged). In TCPIPThreadMode the
+// transmission runs on the tcpip thread.
+func (s *Socket) Send(t *sched.Thread, src mem.Addr, n int) (int, error) {
+	var sent int
+	err := s.stack.apimsg(t, func(cur *sched.Thread) error {
+		var err error
+		sent, err = s.doSend(cur, src, n)
+		return err
+	})
+	return sent, err
+}
+
+func (s *Socket) doSend(t *sched.Thread, src mem.Addr, n int) (int, error) {
+	st := s.stack
+	sent := 0
+	for sent < n {
+		if s.sockErr != nil {
+			return sent, s.sockErr
+		}
+		if s.state != stEstablished && s.state != stCloseWait {
+			return sent, ErrConnClosed
+		}
+		window := s.sndWnd
+		if window > st.maxInflight {
+			window = st.maxInflight
+		}
+		avail := window - s.inflight()
+		if avail <= 0 {
+			st.semDown(t, s.sndSem)
+			continue
+		}
+		chunk := n - sent
+		if chunk > MSS {
+			chunk = MSS
+		}
+		if chunk > avail {
+			chunk = avail
+		}
+		if err := st.sendData(s, src+mem.Addr(sent), chunk); err != nil {
+			return sent, err
+		}
+		sent += chunk
+	}
+	return sent, nil
+}
+
+// Close sends FIN and moves toward Closed. Queued received data stays
+// readable. In TCPIPThreadMode the teardown runs on the tcpip thread.
+func (s *Socket) Close(t *sched.Thread) error {
+	return s.stack.apimsg(t, func(cur *sched.Thread) error {
+		return s.doClose(cur)
+	})
+}
+
+func (s *Socket) doClose(t *sched.Thread) error {
+	st := s.stack
+	switch s.state {
+	case stEstablished:
+		s.state = stFinSent
+		return st.sendFlags(s, flagFIN|flagACK)
+	case stCloseWait:
+		s.state = stFinSent
+		return st.sendFlags(s, flagFIN|flagACK)
+	case stListen:
+		s.state = stClosed
+		delete(st.listeners, s.localPort)
+		return nil
+	case stClosed, stFinSent:
+		return nil
+	default:
+		s.state = stClosed
+		return nil
+	}
+}
+
+// Accept blocks until a connection is established on the listener and
+// returns it.
+func (s *Socket) Accept(t *sched.Thread) (*Socket, error) {
+	st := s.stack
+	if s.state != stListen {
+		return nil, ErrNotListening
+	}
+	for len(s.acceptQ) == 0 {
+		st.semDown(t, s.acceptSem)
+	}
+	conn := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	return conn, nil
+}

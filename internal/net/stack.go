@@ -1,0 +1,651 @@
+package net
+
+import (
+	"fmt"
+
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+	"flexos/internal/sh"
+)
+
+// Stats counts stack activity.
+type Stats struct {
+	SegsIn      uint64
+	SegsOut     uint64
+	BytesIn     uint64
+	BytesOut    uint64
+	Retransmits uint64
+	DroppedIn   uint64
+	DroppedOut  uint64
+	RSTsOut     uint64
+}
+
+// connKey demultiplexes established connections.
+type connKey struct {
+	localPort  uint16
+	remoteIP   IPAddr
+	remotePort uint16
+}
+
+// Config tunes a Stack.
+type Config struct {
+	// IP is the stack's address.
+	IP IPAddr
+	// Platform selects per-packet driver cost (KVM or Xen).
+	Platform Platform
+	// RecvBuf is the per-socket receive buffer capacity (default 64 KiB).
+	RecvBuf int
+	// MaxInflight caps unacknowledged bytes per connection
+	// (default 64 KiB).
+	MaxInflight int
+	// RtxDelayTicks is the retransmission timeout in virtual timer
+	// ticks (default 1000).
+	RtxDelayTicks uint64
+	// RtxLimit bounds consecutive retransmissions of the same data
+	// before the connection is reset (default 8).
+	RtxLimit int
+	// SocketMode selects direct execution or the tcpip-thread
+	// (netconn) handoff for socket operations.
+	SocketMode SocketMode
+	// DelayedAck enables RFC 1122 delayed acknowledgements: ACK every
+	// second data segment, or after DelAckTicks of silence. Off by
+	// default (the paper's evaluation acks per segment).
+	DelayedAck bool
+	// DelAckTicks is the delayed-ack timeout in virtual timer ticks
+	// (default 50).
+	DelAckTicks uint64
+	// RestHard is the hardening surface of the "rest of the system"
+	// library, which owns the NIC driver and platform code; the
+	// builder wires it so that hardening "rest" instruments the
+	// driver's per-packet work (Table 1's fourth row).
+	RestHard *sh.Hardener
+}
+
+// Stack is one machine's TCP/IP stack instance.
+type Stack struct {
+	env       *rt.Env
+	sup       Support
+	scheduler sched.Scheduler
+	nic       *NIC
+	ip        IPAddr
+	platform  Platform
+
+	listeners map[uint16]*Socket
+	conns     map[connKey]*Socket
+	udpSocks  map[uint16]*UDPSocket
+
+	recvBuf     int
+	maxInflight int
+	rtxDelay    uint64
+	rtxLimit    int
+
+	restHard   *sh.Hardener
+	mode       SocketMode
+	tcpip      *tcpipState
+	delayedAck bool
+	delAckTick uint64
+
+	nextEphemeral uint16
+	isn           uint32
+	stats         Stats
+}
+
+// NewStack builds a stack bound to env (library "netstack" of one
+// machine) with LibC services sup and the machine's scheduler for
+// timers.
+func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
+	if cfg.RecvBuf <= 0 {
+		cfg.RecvBuf = 64 << 10
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64 << 10
+	}
+	if cfg.RtxDelayTicks == 0 {
+		cfg.RtxDelayTicks = 1000
+	}
+	if cfg.RtxLimit == 0 {
+		cfg.RtxLimit = 8
+	}
+	if cfg.DelAckTicks == 0 {
+		cfg.DelAckTicks = 50
+	}
+	return &Stack{
+		env:           env,
+		sup:           sup,
+		scheduler:     s,
+		ip:            cfg.IP,
+		platform:      cfg.Platform,
+		listeners:     make(map[uint16]*Socket),
+		conns:         make(map[connKey]*Socket),
+		udpSocks:      make(map[uint16]*UDPSocket),
+		recvBuf:       cfg.RecvBuf,
+		maxInflight:   cfg.MaxInflight,
+		rtxDelay:      cfg.RtxDelayTicks,
+		rtxLimit:      cfg.RtxLimit,
+		restHard:      cfg.RestHard,
+		mode:          cfg.SocketMode,
+		delayedAck:    cfg.DelayedAck,
+		delAckTick:    cfg.DelAckTicks,
+		nextEphemeral: 49152,
+		isn:           1,
+	}
+}
+
+// IP reports the stack's address.
+func (st *Stack) IP() IPAddr { return st.ip }
+
+// Stats returns a copy of the counters.
+func (st *Stack) Stats() Stats { return st.stats }
+
+// Env exposes the stack's runtime environment (used by LibC shims to
+// route gates correctly in tests).
+func (st *Stack) Env() *rt.Env { return st.env }
+
+func (st *Stack) attachNIC(n *NIC) { st.nic = n }
+
+// transmit hands a frame to the NIC; a stack with no link drops it
+// (a real device would not be up yet).
+func (st *Stack) transmit(frame []byte) {
+	if st.nic == nil {
+		st.stats.DroppedOut++
+		return
+	}
+	st.nic.transmit(frame)
+}
+
+// newSocket builds a socket with its LibC semaphores (created through
+// the libc gate).
+func (st *Stack) newSocket() *Socket {
+	s := &Socket{stack: st, rcvWndCap: st.recvBuf}
+	_ = st.env.CallFn("libc", "sem_init", 1, func() error {
+		s.rcvSem = st.sup.NewSem(0)
+		s.sndSem = st.sup.NewSem(0)
+		s.acceptSem = st.sup.NewSem(0)
+		s.connSem = st.sup.NewSem(0)
+		return nil
+	})
+	s.lastAdvWnd = s.rcvWnd()
+	return s
+}
+
+// Listen binds a listening socket to port.
+func (st *Stack) Listen(port uint16, backlog int) (*Socket, error) {
+	if _, ok := st.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrInUse, port)
+	}
+	if backlog <= 0 {
+		backlog = 8
+	}
+	s := st.newSocket()
+	s.state = stListen
+	s.localIP = st.ip
+	s.localPort = port
+	s.backlog = backlog
+	st.listeners[port] = s
+	return s, nil
+}
+
+// Connect opens a connection to ip:port, blocking until established.
+// In TCPIPThreadMode the operation runs on the tcpip thread.
+func (st *Stack) Connect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, error) {
+	var s *Socket
+	err := st.apimsg(t, func(cur *sched.Thread) error {
+		var err error
+		s, err = st.doConnect(cur, ip, port)
+		return err
+	})
+	return s, err
+}
+
+func (st *Stack) doConnect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, error) {
+	s := st.newSocket()
+	s.state = stSynSent
+	s.localIP = st.ip
+	s.localPort = st.allocPort()
+	s.remoteIP = ip
+	s.remotePort = port
+	s.iss = st.nextISN()
+	s.sndUna = s.iss
+	s.sndNxt = s.iss
+	st.conns[connKey{s.localPort, ip, port}] = s
+	if err := st.sendFlags(s, flagSYN); err != nil {
+		return nil, err
+	}
+	for s.state == stSynSent {
+		st.semDown(t, s.connSem)
+	}
+	if s.sockErr != nil {
+		return nil, s.sockErr
+	}
+	return s, nil
+}
+
+func (st *Stack) allocPort() uint16 {
+	p := st.nextEphemeral
+	st.nextEphemeral++
+	if st.nextEphemeral == 0 {
+		st.nextEphemeral = 49152
+	}
+	return p
+}
+
+func (st *Stack) nextISN() uint32 {
+	st.isn += 64000
+	return st.isn
+}
+
+// --- Gate-routed LibC helpers -------------------------------------
+
+// memcpy performs a bulk copy in LibC through the netstack->libc gate.
+func (st *Stack) memcpy(dst, src mem.Addr, n int) error {
+	return st.env.CallFn("libc", "memcpy", 3, func() error {
+		return st.sup.Memcpy(dst, src, n)
+	})
+}
+
+// semDown blocks on a LibC semaphore. The uncontended decrement works
+// on the shared counter inline; only blocking crosses into LibC (and
+// from there into the scheduler).
+func (st *Stack) semDown(t *sched.Thread, sem Sem) {
+	if sem.TryDown() {
+		return
+	}
+	_ = st.env.CallFn("libc", "sem_down", 2, func() error {
+		sem.Down(t)
+		return nil
+	})
+}
+
+// semUp signals a LibC semaphore, crossing the gate only when a waiter
+// must be woken.
+func (st *Stack) semUp(sem Sem) {
+	if !sem.HasWaiters() {
+		sem.Up()
+		return
+	}
+	_ = st.env.CallFn("libc", "sem_up", 1, func() error {
+		sem.Up()
+		return nil
+	})
+}
+
+// --- Output path ---------------------------------------------------
+
+// sendData transmits one data segment whose payload is copied (in
+// LibC) from the arena buffer at src.
+func (st *Stack) sendData(s *Socket, src mem.Addr, n int) error {
+	// The TX mbuf holds headers + payload, allocated from the
+	// netstack compartment's allocator.
+	mbuf, err := st.env.Malloc(HdrLen + n)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = st.env.Free(mbuf) }()
+	if err := st.memcpy(mbuf+HdrLen, src, n); err != nil {
+		return err
+	}
+	payload, err := st.env.Bytes(mbuf+HdrLen, n)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, HdrLen+n)
+	h := &header{
+		SrcIP: s.localIP, DstIP: s.remoteIP,
+		SrcPort: s.localPort, DstPort: s.remotePort,
+		Seq: s.sndNxt, Ack: s.rcvNxt,
+		Flags: flagACK | flagPSH,
+		Wnd:   uint16(s.rcvWnd()),
+	}
+	if _, err := encodeFrame(frame, h, payload); err != nil {
+		return err
+	}
+	st.chargeTx(len(frame), n)
+	// Outgoing data piggybacks the acknowledgement.
+	if s.delAckTimer != nil {
+		s.delAckTimer.Stop()
+		s.delAckTimer = nil
+	}
+	s.delAckPending = 0
+	s.sndNxt += uint32(n)
+	s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: h.Flags, frame: frame})
+	st.armRtx(s)
+	st.stats.SegsOut++
+	st.stats.BytesOut += uint64(n)
+	st.transmit(frame)
+	return nil
+}
+
+// sendFlags transmits a control segment (SYN/ACK/FIN/RST combinations,
+// no payload).
+func (st *Stack) sendFlags(s *Socket, flags uint8) error {
+	h := &header{
+		SrcIP: s.localIP, DstIP: s.remoteIP,
+		SrcPort: s.localPort, DstPort: s.remotePort,
+		Seq: s.sndNxt, Ack: s.rcvNxt,
+		Flags: flags,
+		Wnd:   uint16(s.rcvWnd()),
+	}
+	frame := make([]byte, HdrLen)
+	if _, err := encodeFrame(frame, h, nil); err != nil {
+		return err
+	}
+	st.chargeTx(len(frame), 0)
+	s.lastAdvWnd = s.rcvWnd()
+	if flags&(flagFIN|flagSYN) != 0 {
+		// SYN and FIN each consume a sequence number and are kept for
+		// retransmission.
+		s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: flags, frame: frame})
+		s.sndNxt++
+		st.armRtx(s)
+	}
+	st.stats.SegsOut++
+	st.transmit(frame)
+	return nil
+}
+
+// chargeTx attributes the per-segment stack cost of building and
+// checksumming a frame.
+func (st *Stack) chargeTx(frameLen, payloadLen int) {
+	st.env.Charge(clock.CostPacketFixed + clock.ChecksumCycles(frameLen))
+	st.env.Hard.OnFrame()
+	st.env.Hard.OnTouch(HdrLen)
+	_ = payloadLen
+}
+
+// armRtx starts the retransmission timer if not running.
+func (st *Stack) armRtx(s *Socket) {
+	if s.rtxTimer != nil {
+		return
+	}
+	count := 0
+	var fire func()
+	fire = func() {
+		if len(s.rtx) == 0 || s.sockErr != nil {
+			s.rtxTimer = nil
+			return
+		}
+		count++
+		if count > st.rtxLimit {
+			st.abort(s, fmt.Errorf("%w after %d retransmits", ErrTimeout, st.rtxLimit))
+			s.rtxTimer = nil
+			return
+		}
+		for _, r := range s.rtx {
+			st.stats.Retransmits++
+			st.stats.SegsOut++
+			st.chargeTx(len(r.frame), 0)
+			st.transmit(r.frame)
+		}
+		s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay<<uint(count), fire)
+	}
+	s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay, fire)
+}
+
+// abort fails the connection and wakes every sleeper.
+func (st *Stack) abort(s *Socket, err error) {
+	s.sockErr = err
+	s.state = stClosed
+	if s.rtxTimer != nil {
+		s.rtxTimer.Stop()
+		s.rtxTimer = nil
+	}
+	st.semUp(s.rcvSem)
+	st.semUp(s.sndSem)
+	st.semUp(s.connSem)
+	delete(st.conns, connKey{s.localPort, s.remoteIP, s.remotePort})
+}
+
+// --- Input path ----------------------------------------------------
+
+// input is the receive-interrupt path: the driver DMAs the frame into
+// an rx buffer, then the stack parses, verifies, demuxes and processes
+// it. It runs inline on the receiving machine's CPU. The rx path is
+// zero-copy: a data segment's buffer is handed to the socket and only
+// released once the application has consumed the payload.
+func (st *Stack) input(frame []byte) {
+	// Driver rx buffer: allocated from the netstack compartment's
+	// allocator, filled by DMA (no CPU cycles).
+	fbuf, err := st.env.Malloc(len(frame))
+	if err != nil {
+		st.stats.DroppedIn++
+		return
+	}
+	retained := false
+	defer func() {
+		if !retained {
+			_ = st.env.Free(fbuf)
+		}
+	}()
+	dma, err := st.env.Bytes(fbuf, len(frame))
+	if err != nil {
+		st.stats.DroppedIn++
+		return
+	}
+	copy(dma, frame)
+
+	st.env.Charge(clock.CostPacketFixed + clock.ChecksumCycles(len(frame)))
+	st.env.Hard.OnFrame()
+	if err := st.env.Hard.OnAccess(fbuf, min(len(frame), HdrLen), false); err != nil {
+		st.stats.DroppedIn++
+		return
+	}
+	h, payload, err := decodeFrame(dma)
+	if err != nil {
+		st.stats.DroppedIn++
+		return
+	}
+	if h.DstIP != st.ip {
+		st.stats.DroppedIn++
+		return
+	}
+	st.stats.SegsIn++
+	if h.Proto == protoUDP {
+		retained = st.udpInput(h, fbuf, len(payload))
+		return
+	}
+	key := connKey{h.DstPort, h.SrcIP, h.SrcPort}
+	if s, ok := st.conns[key]; ok {
+		retained = st.process(s, h, len(payload), fbuf)
+		return
+	}
+	if h.has(flagSYN) && !h.has(flagACK) {
+		if l, ok := st.listeners[h.DstPort]; ok {
+			st.acceptSYN(l, h)
+			return
+		}
+	}
+	// No connection: answer with RST (unless it was an RST).
+	if !h.has(flagRST) {
+		st.sendRST(h)
+	}
+}
+
+// acceptSYN creates a half-open socket from a listener.
+func (st *Stack) acceptSYN(l *Socket, h *header) {
+	if len(l.acceptQ) >= l.backlog {
+		st.stats.DroppedIn++
+		return
+	}
+	s := st.newSocket()
+	s.state = stSynRcvd
+	s.localIP = st.ip
+	s.localPort = h.DstPort
+	s.remoteIP = h.SrcIP
+	s.remotePort = h.SrcPort
+	s.rcvNxt = h.Seq + 1
+	s.iss = st.nextISN()
+	s.sndUna = s.iss
+	s.sndNxt = s.iss
+	s.sndWnd = int(h.Wnd)
+	s.listener = l
+	st.conns[connKey{s.localPort, s.remoteIP, s.remotePort}] = s
+	if err := st.sendFlags(s, flagSYN|flagACK); err != nil {
+		st.abort(s, err)
+	}
+}
+
+// sendRST answers an unexpected segment.
+func (st *Stack) sendRST(h *header) {
+	st.stats.RSTsOut++
+	rst := &header{
+		SrcIP: st.ip, DstIP: h.SrcIP,
+		SrcPort: h.DstPort, DstPort: h.SrcPort,
+		Seq: h.Ack, Ack: h.Seq + uint32(h.PayloadLen),
+		Flags: flagRST | flagACK,
+	}
+	frame := make([]byte, HdrLen)
+	if _, err := encodeFrame(frame, rst, nil); err != nil {
+		return
+	}
+	st.chargeTx(len(frame), 0)
+	st.transmit(frame)
+}
+
+// process advances an existing connection's state machine. The frame
+// sits in the driver rx buffer at fbuf; process reports whether it
+// took ownership of that buffer (zero-copy data acceptance).
+func (st *Stack) process(s *Socket, h *header, payloadLen int, fbuf mem.Addr) bool {
+	if h.has(flagRST) {
+		st.abort(s, ErrConnReset)
+		return false
+	}
+	// ACK processing (sender side).
+	if h.has(flagACK) {
+		st.processAck(s, h)
+	}
+	switch s.state {
+	case stSynSent:
+		if h.has(flagSYN) && h.has(flagACK) && h.Ack == s.iss+1 {
+			s.rcvNxt = h.Seq + 1
+			s.sndUna = h.Ack
+			s.sndWnd = int(h.Wnd)
+			s.state = stEstablished
+			_ = st.sendFlags(s, flagACK)
+			st.semUp(s.connSem)
+		}
+		return false
+	case stSynRcvd:
+		if h.has(flagACK) && h.Ack == s.iss+1 {
+			s.state = stEstablished
+			if s.listener != nil {
+				s.listener.acceptQ = append(s.listener.acceptQ, s)
+				st.semUp(s.listener.acceptSem)
+			}
+		}
+		// Fall through: the ACK may carry data.
+	}
+
+	// Data processing (receiver side).
+	retained := false
+	if payloadLen > 0 {
+		retained = st.processData(s, h, payloadLen, fbuf)
+	}
+
+	// FIN processing.
+	if h.has(flagFIN) && h.Seq+uint32(payloadLen) == s.rcvNxt {
+		s.rcvNxt++
+		s.rcvEOF = true
+		if s.state == stEstablished {
+			s.state = stCloseWait
+		} else if s.state == stFinSent {
+			s.state = stClosed
+			delete(st.conns, connKey{s.localPort, s.remoteIP, s.remotePort})
+		}
+		_ = st.sendFlags(s, flagACK)
+		st.semUp(s.rcvSem)
+	}
+	return retained
+}
+
+// processAck advances sndUna, trims the retransmission queue and wakes
+// blocked senders.
+func (st *Stack) processAck(s *Socket, h *header) {
+	s.sndWnd = int(h.Wnd)
+	if seqLess(s.sndUna, h.Ack) && seqLEq(h.Ack, s.sndNxt) {
+		s.sndUna = h.Ack
+		// Drop fully acknowledged segments.
+		keep := s.rtx[:0]
+		for _, r := range s.rtx {
+			segEnd := r.seq + uint32(len(r.frame)-HdrLen)
+			if r.flags&(flagSYN|flagFIN) != 0 {
+				segEnd++
+			}
+			if seqLess(s.sndUna, segEnd) {
+				keep = append(keep, r)
+			}
+		}
+		s.rtx = keep
+		if len(s.rtx) == 0 && s.rtxTimer != nil {
+			s.rtxTimer.Stop()
+			s.rtxTimer = nil
+		}
+		if s.state == stFinSent && s.sndUna == s.sndNxt && s.rcvEOF {
+			// Our FIN is acknowledged and the peer's FIN was already
+			// received: the connection is fully closed.
+			s.state = stClosed
+			delete(st.conns, connKey{s.localPort, s.remoteIP, s.remotePort})
+		}
+	}
+	// Window may have opened (or a duplicate ACK refreshed it).
+	st.semUp(s.sndSem)
+}
+
+// processData accepts in-order payload into the socket's receive
+// queue, zero-copy: the socket takes ownership of the rx buffer and
+// points at the payload inside it. Out-of-order segments are dropped
+// (the retransmission path recovers them) with a duplicate ACK. It
+// reports whether it retained the rx buffer.
+func (st *Stack) processData(s *Socket, h *header, n int, fbuf mem.Addr) bool {
+	if h.Seq != s.rcvNxt {
+		st.stats.DroppedIn++
+		_ = st.sendFlags(s, flagACK) // duplicate ACK
+		return false
+	}
+	if n > s.rcvWnd() {
+		// Beyond our advertised window: drop.
+		st.stats.DroppedIn++
+		_ = st.sendFlags(s, flagACK)
+		return false
+	}
+	s.rcvQ = append(s.rcvQ, seg{base: fbuf, addr: fbuf + HdrLen, n: n})
+	s.rcvQueued += n
+	s.rcvNxt += uint32(n)
+	st.stats.BytesIn += uint64(n)
+	st.ackData(s)
+	st.semUp(s.rcvSem)
+	return true
+}
+
+// ackData acknowledges accepted payload: immediately by default, or
+// every second segment / after a short timeout under delayed acks.
+func (st *Stack) ackData(s *Socket) {
+	if !st.delayedAck {
+		_ = st.sendFlags(s, flagACK)
+		return
+	}
+	s.delAckPending++
+	if s.delAckPending >= 2 {
+		st.flushAck(s)
+		return
+	}
+	if s.delAckTimer == nil {
+		s.delAckTimer = st.scheduler.Timers().After(st.delAckTick, func() {
+			s.delAckTimer = nil
+			if s.delAckPending > 0 {
+				st.flushAck(s)
+			}
+		})
+	}
+}
+
+// flushAck sends the pending acknowledgement now.
+func (st *Stack) flushAck(s *Socket) {
+	if s.delAckTimer != nil {
+		s.delAckTimer.Stop()
+		s.delAckTimer = nil
+	}
+	s.delAckPending = 0
+	_ = st.sendFlags(s, flagACK)
+}

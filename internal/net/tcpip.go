@@ -1,0 +1,99 @@
+package net
+
+import (
+	"flexos/internal/clock"
+	"flexos/internal/sched"
+)
+
+// SocketMode selects how application threads reach the stack.
+type SocketMode int
+
+// Socket modes.
+const (
+	// DirectMode runs socket operations on the calling thread (like
+	// lwip's raw API).
+	DirectMode SocketMode = iota
+	// TCPIPThreadMode posts socket operations to a dedicated network
+	// thread — lwip's tcpip_thread/netconn architecture, which is what
+	// Unikraft's socket layer uses. Every Listen/Connect/Send/Close is
+	// then a semaphore-mediated handoff costing two context switches
+	// plus the LibC and scheduler crossings of the paper's Fig. 5
+	// analysis; Recv and Accept still block app-side on the
+	// connection's own semaphore (lwip's recvmbox).
+	TCPIPThreadMode
+)
+
+// String implements fmt.Stringer.
+func (m SocketMode) String() string {
+	if m == TCPIPThreadMode {
+		return "tcpip-thread"
+	}
+	return "direct"
+}
+
+// apiReq is one message on the tcpip thread's mailbox.
+type apiReq struct {
+	fn   func(cur *sched.Thread) error
+	done Sem
+	err  error
+}
+
+// tcpipState is the stack's mailbox and worker.
+type tcpipState struct {
+	reqs   []*apiReq
+	reqSem Sem
+	thread *sched.Thread
+	served uint64
+}
+
+// StartTCPIP spawns the stack's tcpip thread as a daemon on the given
+// scheduler. It must be called once, before workload threads run, and
+// only in TCPIPThreadMode.
+func (st *Stack) StartTCPIP(s sched.Scheduler) {
+	if st.mode != TCPIPThreadMode || st.tcpip != nil {
+		return
+	}
+	// The mailbox semaphore lives in shared data; creating it is plain
+	// initialization, not a crossing.
+	ts := &tcpipState{reqSem: st.sup.NewSem(0)}
+	st.tcpip = ts
+	ts.thread = s.Spawn("tcpip:"+st.ip.String(), st.env.CPU, func(t *sched.Thread) {
+		for {
+			st.semDown(t, ts.reqSem)
+			if len(ts.reqs) == 0 {
+				continue
+			}
+			r := ts.reqs[0]
+			ts.reqs = ts.reqs[1:]
+			st.env.Charge(clock.CostSchedOp) // message dequeue/dispatch
+			r.err = r.fn(t)
+			ts.served++
+			st.semUp(r.done)
+		}
+	})
+	ts.thread.Daemon = true
+}
+
+// TCPIPServed reports how many API messages the tcpip thread has
+// processed (tests).
+func (st *Stack) TCPIPServed() uint64 {
+	if st.tcpip == nil {
+		return 0
+	}
+	return st.tcpip.served
+}
+
+// apimsg runs fn on the tcpip thread (blocking the caller until done)
+// in TCPIPThreadMode, or inline in DirectMode. fn receives the thread
+// it executes on, so blocking operations inside it park the right
+// thread. A nil caller thread (boot-time setup) always runs inline.
+func (st *Stack) apimsg(t *sched.Thread, fn func(cur *sched.Thread) error) error {
+	if st.mode != TCPIPThreadMode || st.tcpip == nil || t == nil {
+		return fn(t)
+	}
+	r := &apiReq{fn: fn, done: st.sup.NewSem(0)}
+	st.tcpip.reqs = append(st.tcpip.reqs, r)
+	st.semUp(st.tcpip.reqSem)
+	st.semDown(t, r.done)
+	return r.err
+}

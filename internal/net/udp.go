@@ -1,0 +1,178 @@
+package net
+
+import (
+	"fmt"
+
+	"flexos/internal/mem"
+	"flexos/internal/sched"
+)
+
+// MaxDatagram is the largest UDP payload on our virtual link.
+const MaxDatagram = 1500 - IPHdrLen - UDPHdrLen
+
+// datagram is one queued received datagram (zero-copy: the socket
+// owns the rx buffer).
+type datagram struct {
+	base    mem.Addr
+	addr    mem.Addr
+	n       int
+	src     IPAddr
+	srcPort uint16
+}
+
+// UDPSocket is a bound UDP endpoint.
+type UDPSocket struct {
+	stack     *Stack
+	localPort uint16
+	rcvQ      []datagram
+	rcvQueued int
+	rcvCap    int
+	rcvSem    Sem
+	closed    bool
+	// Dropped counts datagrams discarded because the queue was full.
+	Dropped uint64
+}
+
+// UDPBind binds a UDP socket to port; port 0 picks an ephemeral port.
+func (st *Stack) UDPBind(port uint16) (*UDPSocket, error) {
+	if port == 0 {
+		for i := 0; i < 1<<16 && port == 0; i++ {
+			if p := st.allocPort(); p != 0 {
+				if _, ok := st.udpSocks[p]; !ok {
+					port = p
+				}
+			}
+		}
+		if port == 0 {
+			return nil, fmt.Errorf("%w: no ephemeral udp port", ErrInUse)
+		}
+	}
+	if _, ok := st.udpSocks[port]; ok {
+		return nil, fmt.Errorf("%w: udp %d", ErrInUse, port)
+	}
+	u := &UDPSocket{stack: st, localPort: port, rcvCap: st.recvBuf}
+	_ = st.env.CallFn("libc", "sem_init", 1, func() error {
+		u.rcvSem = st.sup.NewSem(0)
+		return nil
+	})
+	st.udpSocks[port] = u
+	return u, nil
+}
+
+// LocalPort reports the bound port.
+func (u *UDPSocket) LocalPort() uint16 { return u.localPort }
+
+// Close unbinds the socket and wakes blocked readers.
+func (u *UDPSocket) Close() {
+	if u.closed {
+		return
+	}
+	u.closed = true
+	delete(u.stack.udpSocks, u.localPort)
+	u.stack.semUp(u.rcvSem)
+}
+
+// SendTo transmits one datagram of n bytes from the arena buffer at
+// src. In TCPIPThreadMode the transmission runs on the tcpip thread.
+func (u *UDPSocket) SendTo(t *sched.Thread, dst IPAddr, dstPort uint16, src mem.Addr, n int) error {
+	return u.stack.apimsg(t, func(cur *sched.Thread) error {
+		return u.doSendTo(dst, dstPort, src, n)
+	})
+}
+
+func (u *UDPSocket) doSendTo(dst IPAddr, dstPort uint16, src mem.Addr, n int) error {
+	st := u.stack
+	if u.closed {
+		return ErrConnClosed
+	}
+	if n < 0 || n > MaxDatagram {
+		return fmt.Errorf("net: datagram of %d bytes (max %d)", n, MaxDatagram)
+	}
+	mbuf, err := st.env.Malloc(UDPHdrTotal + max(n, 1))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = st.env.Free(mbuf) }()
+	var payload []byte
+	if n > 0 {
+		if err := st.memcpy(mbuf+UDPHdrTotal, src, n); err != nil {
+			return err
+		}
+		payload, err = st.env.Bytes(mbuf+UDPHdrTotal, n)
+		if err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, UDPHdrTotal+n)
+	h := &header{
+		Proto: protoUDP,
+		SrcIP: st.ip, DstIP: dst,
+		SrcPort: u.localPort, DstPort: dstPort,
+	}
+	if _, err := encodeUDPFrame(frame, h, payload); err != nil {
+		return err
+	}
+	st.chargeTx(len(frame), n)
+	st.stats.SegsOut++
+	st.stats.BytesOut += uint64(n)
+	st.transmit(frame)
+	return nil
+}
+
+// RecvFrom blocks until a datagram arrives, copies up to n bytes into
+// dst (in LibC) and returns the byte count and source address. A
+// closed socket returns ErrConnClosed once its queue drains.
+func (u *UDPSocket) RecvFrom(t *sched.Thread, dst mem.Addr, n int) (int, IPAddr, uint16, error) {
+	st := u.stack
+	for len(u.rcvQ) == 0 {
+		if u.closed {
+			return 0, 0, 0, ErrConnClosed
+		}
+		st.semDown(t, u.rcvSem)
+	}
+	d := u.rcvQ[0]
+	u.rcvQ = u.rcvQ[1:]
+	u.rcvQueued -= d.n
+	copied := d.n
+	if copied > n {
+		copied = n // excess bytes of the datagram are discarded
+	}
+	var err error
+	if copied > 0 {
+		err = st.env.CallFn("libc", "memcpy", 3, func() error {
+			return st.sup.Memcpy(dst, d.addr, copied)
+		})
+	}
+	if ferr := st.env.Free(d.base); err == nil {
+		err = ferr
+	}
+	return copied, d.src, d.srcPort, err
+}
+
+// Pending reports queued datagrams (tests).
+func (u *UDPSocket) Pending() int { return len(u.rcvQ) }
+
+// udpInput accepts one datagram for a bound socket; it reports whether
+// it retained the rx buffer.
+func (st *Stack) udpInput(h *header, fbuf mem.Addr, n int) bool {
+	u, ok := st.udpSocks[h.DstPort]
+	if !ok {
+		st.stats.DroppedIn++
+		return false
+	}
+	if u.rcvQueued+n > u.rcvCap {
+		// No flow control in UDP: over-capacity datagrams are dropped,
+		// as a real socket buffer would.
+		u.Dropped++
+		st.stats.DroppedIn++
+		return false
+	}
+	u.rcvQ = append(u.rcvQ, datagram{
+		base: fbuf, addr: fbuf + UDPHdrTotal, n: n,
+		src: h.SrcIP, srcPort: h.SrcPort,
+	})
+	u.rcvQueued += n
+	st.stats.BytesIn += uint64(n)
+	st.semUp(u.rcvSem)
+	return true
+}

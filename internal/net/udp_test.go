@@ -1,0 +1,214 @@
+package net
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flexos/internal/mem"
+	"flexos/internal/sched"
+)
+
+func TestUDPEncodeDecodeRoundTrip(t *testing.T) {
+	h := &header{
+		Proto: protoUDP,
+		SrcIP: IP4(10, 0, 0, 2), DstIP: IP4(10, 0, 0, 1),
+		SrcPort: 40000, DstPort: 5002,
+	}
+	payload := []byte("udp datagram payload")
+	frame := make([]byte, UDPHdrTotal+len(payload))
+	if _, err := encodeUDPFrame(frame, h, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPayload, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proto != protoUDP || got.SrcPort != 40000 || got.DstPort != 5002 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatal("payload mismatch")
+	}
+	// Corruption is caught by the UDP checksum.
+	frame[UDPHdrTotal] ^= 0xFF
+	if _, _, err := decodeFrame(frame); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want checksum error", err)
+	}
+}
+
+func TestUDPChecksumProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > MaxDatagram {
+			payload = payload[:MaxDatagram]
+		}
+		h := &header{Proto: protoUDP, SrcIP: IP4(1, 1, 1, 1), DstIP: IP4(2, 2, 2, 2), SrcPort: 5, DstPort: 6}
+		frame := make([]byte, UDPHdrTotal+len(payload))
+		if _, err := encodeUDPFrame(frame, h, payload); err != nil {
+			return false
+		}
+		_, got, err := decodeFrame(frame)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPSendRecv(t *testing.T) {
+	s, server, client, _ := world(t, Config{})
+	const port = 5002
+	us, err := server.stack.UDPBind(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var gotSrc IPAddr
+	s.Spawn("server", server.cpu, func(th *sched.Thread) {
+		buf := server.buf(t, 256, 0)
+		n, src, srcPort, err := us.RecvFrom(th, buf, 256)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, _ := server.arena.Bytes(buf, n)
+		got = append([]byte(nil), b...)
+		gotSrc = src
+		// Echo back.
+		if err := us.SendTo(th, src, srcPort, buf, n); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Spawn("client", client.cpu, func(th *sched.Thread) {
+		uc, err := client.stack.UDPBind(40000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := client.buf(t, 32, 0)
+		b, _ := client.arena.Bytes(out, 32)
+		copy(b, "ping-over-udp")
+		if err := uc.SendTo(th, server.stack.IP(), port, out, 13); err != nil {
+			t.Error(err)
+			return
+		}
+		in := client.buf(t, 64, 0)
+		n, _, _, err := uc.RecvFrom(th, in, 64)
+		if err != nil || n != 13 {
+			t.Errorf("echo recv = %d, %v", n, err)
+			return
+		}
+		rb, _ := client.arena.Bytes(in, n)
+		if string(rb) != "ping-over-udp" {
+			t.Errorf("echo = %q", rb)
+		}
+		uc.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping-over-udp" || gotSrc != client.stack.IP() {
+		t.Fatalf("server got %q from %v", got, gotSrc)
+	}
+}
+
+func TestUDPBindConflictAndClose(t *testing.T) {
+	_, server, _, _ := world(t, Config{})
+	u, err := server.stack.UDPBind(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.stack.UDPBind(53); !errors.Is(err, ErrInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	u.Close()
+	if _, err := server.stack.UDPBind(53); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	// Sending on a closed socket fails.
+	if err := u.doSendTo(IP4(1, 2, 3, 4), 1, mem.PageSize, 0); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("closed send err = %v", err)
+	}
+}
+
+func TestUDPRecvFromClosedSocket(t *testing.T) {
+	s, server, _, _ := world(t, Config{})
+	u, err := server.stack.UDPBind(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("reader", server.cpu, func(th *sched.Thread) {
+		buf := server.buf(t, 64, 0)
+		if _, _, _, err := u.RecvFrom(th, buf, 64); !errors.Is(err, ErrConnClosed) {
+			t.Errorf("err = %v, want ErrConnClosed", err)
+		}
+	})
+	s.Spawn("closer", server.cpu, func(th *sched.Thread) { u.Close() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPDropsWhenQueueFull(t *testing.T) {
+	s, server, client, _ := world(t, Config{RecvBuf: 2048})
+	u, err := server.stack.UDPBind(5002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("client", client.cpu, func(th *sched.Thread) {
+		uc, err := client.stack.UDPBind(40000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := client.buf(t, 1024, 0)
+		// 4 KiB into a 2 KiB queue with no reader: some must drop.
+		for i := 0; i < 4; i++ {
+			if err := uc.SendTo(th, server.stack.IP(), 5002, out, 1024); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Dropped == 0 {
+		t.Fatal("no datagrams dropped")
+	}
+	if u.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", u.Pending())
+	}
+}
+
+func TestUDPToUnboundPortDropped(t *testing.T) {
+	s, server, client, _ := world(t, Config{})
+	s.Spawn("client", client.cpu, func(th *sched.Thread) {
+		uc, err := client.stack.UDPBind(40000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := client.buf(t, 16, 0)
+		if err := uc.SendTo(th, server.stack.IP(), 9, out, 16); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if server.stack.Stats().DroppedIn == 0 {
+		t.Fatal("datagram to unbound port not dropped")
+	}
+}
+
+func TestUDPOversizedDatagramRejected(t *testing.T) {
+	_, server, _, _ := world(t, Config{})
+	u, err := server.stack.UDPBind(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.doSendTo(IP4(1, 2, 3, 4), 1, mem.PageSize, MaxDatagram+1); err == nil {
+		t.Fatal("oversized datagram accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package rt defines the per-library runtime environment of a FlexOS
+// image.
+//
+// When the builder instantiates an image it hands every micro-library
+// an Env carrying the library's identity, the machine's virtual CPU,
+// the gate registry (through which every cross-library call is
+// routed), the library's memory allocator (global or per-compartment)
+// and its software-hardening surface. OS components are written
+// against Env only, which is what makes the same component code run
+// under any compartmentalization — the FlexOS porting model.
+package rt
+
+import (
+	"flexos/internal/clock"
+	"flexos/internal/core/gate"
+	"flexos/internal/mem"
+	"flexos/internal/sh"
+)
+
+// Env is one library's view of the image it was linked into.
+type Env struct {
+	// Lib is the library name used in gate routing (e.g. "netstack").
+	Lib string
+	// Comp is the cycle-attribution component for this library.
+	Comp clock.Component
+	// CPU is the machine's virtual processor.
+	CPU *clock.CPU
+	// Gates routes cross-library calls.
+	Gates *gate.Registry
+	// Arena is the machine's physical memory.
+	Arena *mem.Arena
+	// Alloc is the allocator backing this library's compartment.
+	Alloc mem.Allocator
+	// Shared is the machine's shared-window allocator (key 0, mapped
+	// in every compartment at the same address). Data annotated as
+	// shared during porting — buffers passed across micro-library
+	// boundaries — is allocated here.
+	Shared mem.Allocator
+	// AllocLocal marks the allocator as linked into this library's own
+	// compartment (per-compartment or per-library ukalloc instance):
+	// allocation calls are then direct, with no gate crossing. A
+	// global allocator is reached through the "alloc" library's gate.
+	AllocLocal bool
+	// Hard is the library's hardening surface (nil-safe).
+	Hard *sh.Hardener
+}
+
+// Charge attributes cycles to this library.
+func (e *Env) Charge(cycles uint64) { e.CPU.Charge(e.Comp, cycles) }
+
+// Call routes a call from this library to a function in lib `to`,
+// through the gate the builder instantiated for the pair.
+func (e *Env) Call(to string, argWords int, fn func() error) error {
+	return e.Gates.Call(e.Lib, to, argWords, fn)
+}
+
+// CallFn is Call with the callee function named, so that dynamic
+// metadata generation can record the call edge.
+func (e *Env) CallFn(to, fnName string, argWords int, fn func() error) error {
+	return e.Gates.CallNamed(e.Lib, to, fnName, argWords, fn)
+}
+
+// Malloc allocates n bytes. With a local allocator the call is direct;
+// with a global allocator it routes through the "alloc" library's gate
+// (which may cross a compartment boundary).
+func (e *Env) Malloc(n int) (mem.Addr, error) {
+	if e.AllocLocal {
+		e.CPU.Charge(clock.CompAlloc, clock.CostMalloc)
+		return e.Alloc.Alloc(n)
+	}
+	var addr mem.Addr
+	err := e.CallFn("alloc", "malloc", 1, func() error {
+		e.CPU.Charge(clock.CompAlloc, clock.CostMalloc)
+		var err error
+		addr, err = e.Alloc.Alloc(n)
+		return err
+	})
+	return addr, err
+}
+
+// Free releases an allocation (see Malloc for routing).
+func (e *Env) Free(addr mem.Addr) error {
+	if e.AllocLocal {
+		e.CPU.Charge(clock.CompAlloc, clock.CostFree)
+		return e.Alloc.Free(addr)
+	}
+	return e.CallFn("alloc", "free", 1, func() error {
+		e.CPU.Charge(clock.CompAlloc, clock.CostFree)
+		return e.Alloc.Free(addr)
+	})
+}
+
+// MallocShared allocates from the shared window: memory every
+// compartment can reach, used for data the porting process annotates
+// as shared. The window is mapped locally everywhere, so no gate is
+// crossed.
+func (e *Env) MallocShared(n int) (mem.Addr, error) {
+	if e.Shared == nil {
+		return e.Malloc(n)
+	}
+	e.CPU.Charge(clock.CompAlloc, clock.CostMalloc)
+	return e.Shared.Alloc(n)
+}
+
+// FreeShared releases a shared-window allocation.
+func (e *Env) FreeShared(addr mem.Addr) error {
+	if e.Shared == nil {
+		return e.Free(addr)
+	}
+	e.CPU.Charge(clock.CompAlloc, clock.CostFree)
+	return e.Shared.Free(addr)
+}
+
+// Bytes returns the raw backing bytes of an arena range. Access
+// checking against the hardening profile is the caller's duty (use
+// Hard.OnAccess); MPK-level checks happen in the gates/mpk layer.
+func (e *Env) Bytes(addr mem.Addr, n int) ([]byte, error) {
+	return e.Arena.Bytes(addr, n)
+}

@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"testing"
+
+	"flexos/internal/clock"
+	"flexos/internal/core/gate"
+	"flexos/internal/mem"
+)
+
+func newEnv(t *testing.T, local bool, split bool) (*Env, *gate.Registry, *clock.CPU) {
+	t.Helper()
+	cpu := clock.New()
+	arena := mem.NewArena(2 << 20)
+	heap, err := mem.NewHeap(arena, mem.PageSize, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := gate.NewRegistry(gate.NewFuncCall(cpu), gate.NewFuncCall(cpu))
+	reg.AddCompartment(gate.NewDomain("c0"))
+	reg.AddCompartment(gate.NewDomain("c1"))
+	allocComp := "c0"
+	if split {
+		allocComp = "c1"
+	}
+	if err := reg.Assign("netstack", "c0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Assign("alloc", allocComp); err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{
+		Lib: "netstack", Comp: clock.CompNet, CPU: cpu,
+		Gates: reg, Arena: arena, Alloc: heap, AllocLocal: local,
+	}
+	return env, reg, cpu
+}
+
+func TestChargeAttributesToComponent(t *testing.T) {
+	env, _, cpu := newEnv(t, true, false)
+	env.Charge(123)
+	if cpu.Component(clock.CompNet) != 123 {
+		t.Fatalf("charge = %d", cpu.Component(clock.CompNet))
+	}
+}
+
+func TestLocalAllocSkipsGate(t *testing.T) {
+	env, reg, cpu := newEnv(t, true, true)
+	p, err := env.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if reg.TotalCrossings() != 0 {
+		t.Fatal("local allocator crossed a gate")
+	}
+	want := uint64(clock.CostMalloc + clock.CostFree)
+	if got := cpu.Component(clock.CompAlloc); got != want {
+		t.Fatalf("alloc charge = %d, want %d", got, want)
+	}
+}
+
+func TestGlobalAllocRoutesThroughGate(t *testing.T) {
+	env, reg, _ := newEnv(t, false, true)
+	p, err := env.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Crossings("c0", "c1"); got != 2 {
+		t.Fatalf("crossings = %d, want 2 (malloc + free)", got)
+	}
+}
+
+func TestCallRoutesFromOwnLib(t *testing.T) {
+	env, reg, _ := newEnv(t, true, true)
+	called := false
+	if err := env.Call("alloc", 1, func() error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !called || reg.Crossings("c0", "c1") != 1 {
+		t.Fatal("call not routed across compartments")
+	}
+}
+
+func TestBytesBoundsChecked(t *testing.T) {
+	env, _, _ := newEnv(t, true, false)
+	if _, err := env.Bytes(0, 8); err == nil {
+		t.Fatal("zero page readable")
+	}
+	p, err := env.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Bytes(p, 16)
+	if err != nil || len(b) != 16 {
+		t.Fatalf("Bytes = %v, %v", len(b), err)
+	}
+}

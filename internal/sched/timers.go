@@ -1,0 +1,77 @@
+package sched
+
+import "sort"
+
+// Timers is a virtual-time timer wheel. Deadlines are expressed in
+// scheduler ticks — an abstract monotonic counter advanced when the
+// run queue drains and the earliest timer fires (the classic
+// discrete-event-simulation "advance to next event" rule). The network
+// stack uses it for retransmission and delayed delivery.
+type Timers struct {
+	now     uint64
+	pending []*Timer
+	seq     uint64
+}
+
+// Timer is one pending callback.
+type Timer struct {
+	At      uint64
+	fn      func()
+	seq     uint64
+	stopped bool
+}
+
+// Stop cancels the timer; firing a stopped timer is a no-op.
+func (t *Timer) Stop() { t.stopped = true }
+
+func newTimers() *Timers { return &Timers{} }
+
+// Now reports the current virtual tick.
+func (ts *Timers) Now() uint64 { return ts.now }
+
+// After schedules fn to run delay ticks from now.
+func (ts *Timers) After(delay uint64, fn func()) *Timer {
+	t := &Timer{At: ts.now + delay, fn: fn, seq: ts.seq}
+	ts.seq++
+	ts.pending = append(ts.pending, t)
+	return t
+}
+
+// Pending reports the number of live pending timers.
+func (ts *Timers) Pending() int {
+	n := 0
+	for _, t := range ts.pending {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// fireEarliest advances virtual time to the earliest live timer and
+// runs it. It reports whether a timer fired.
+func (ts *Timers) fireEarliest() bool {
+	live := ts.pending[:0]
+	for _, t := range ts.pending {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	ts.pending = live
+	if len(ts.pending) == 0 {
+		return false
+	}
+	sort.Slice(ts.pending, func(i, j int) bool {
+		if ts.pending[i].At != ts.pending[j].At {
+			return ts.pending[i].At < ts.pending[j].At
+		}
+		return ts.pending[i].seq < ts.pending[j].seq
+	})
+	t := ts.pending[0]
+	ts.pending = ts.pending[1:]
+	if t.At > ts.now {
+		ts.now = t.At
+	}
+	t.fn()
+	return true
+}

@@ -1,0 +1,96 @@
+// Package trace records simulator events — domain crossings,
+// protection faults — into a fixed-size ring, timestamped in virtual
+// cycles. The paper's goal is to let developers *inspect* points of
+// the isolation design space; the trace is how a run explains where
+// its crossings went (examples/iperf -trace prints it).
+package trace
+
+import "fmt"
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    uint64
+	Cycles uint64
+	Kind   string // "crossing", "pkfault", ...
+	From   string
+	To     string
+	Note   string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d @%dcy %s %s->%s", e.Seq, e.Cycles, e.Kind, e.From, e.To)
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// Ring is a fixed-capacity event buffer; when full, the oldest events
+// are overwritten. The zero value is unusable; use NewRing.
+type Ring struct {
+	buf     []Event
+	next    int
+	seq     uint64
+	full    bool
+	dropped uint64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit records an event, stamping its sequence number.
+func (r *Ring) Emit(e Event) {
+	e.Seq = r.seq
+	r.seq++
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total reports how many events were ever emitted.
+func (r *Ring) Total() uint64 { return r.seq }
+
+// Dropped reports how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the held events in chronological order.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// CountKind reports how many held events have the given kind.
+func (r *Ring) CountKind(kind string) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

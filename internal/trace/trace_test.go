@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmitAndOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Kind: "crossing", From: fmt.Sprintf("c%d", i), To: "x"})
+	}
+	ev := r.Events()
+	if len(ev) != 3 || r.Len() != 3 {
+		t.Fatalf("Len = %d, events = %d", r.Len(), len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i) || e.From != fmt.Sprintf("c%d", i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestWraparoundKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: "k", Note: fmt.Sprintf("%d", i)})
+	}
+	ev := r.Events()
+	if len(ev) != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(ev), r.Total(), r.Dropped())
+	}
+	if ev[0].Note != "6" || ev[3].Note != "9" {
+		t.Fatalf("wrong window: %v", ev)
+	}
+	// Chronological order property under arbitrary emit counts.
+	f := func(n uint8) bool {
+		r := NewRing(8)
+		for i := 0; i < int(n); i++ {
+			r.Emit(Event{})
+		}
+		ev := r.Events()
+		for i := 1; i < len(ev); i++ {
+			if ev[i].Seq != ev[i-1].Seq+1 {
+				return false
+			}
+		}
+		return len(ev) <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountKindAndString(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: "crossing", From: "a", To: "b"})
+	r.Emit(Event{Kind: "pkfault", From: "a", To: "b", Note: "write"})
+	if r.CountKind("crossing") != 1 || r.CountKind("pkfault") != 1 || r.CountKind("x") != 0 {
+		t.Fatal("CountKind wrong")
+	}
+	s := r.Events()[1].String()
+	if !strings.Contains(s, "pkfault") || !strings.Contains(s, "(write)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	if len(r.buf) != 256 {
+		t.Fatal("default capacity wrong")
+	}
+}

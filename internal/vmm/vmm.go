@@ -1,0 +1,86 @@
+// Package vmm implements the VM-based isolation backend's substrate:
+// inter-VM event channels and the shared memory window.
+//
+// Under the VM (EPT) backend each compartment becomes its own VM image
+// containing the minimum micro-libraries needed to run independently
+// (platform code, memory allocator, scheduler) plus a thin RPC layer
+// based on inter-VM notifications and a shared area of memory mapped
+// in all compartments at an identical address, so pointers into shared
+// structures stay valid. Compartments no longer share an address
+// space: isolation holds by construction, and each VM needs its own
+// allocator and scheduler — which therefore must be trusted. The
+// builder enforces both requirements.
+package vmm
+
+import (
+	"fmt"
+
+	"flexos/internal/core/gate"
+	"flexos/internal/mem"
+)
+
+// Event is one inter-VM notification.
+type Event struct {
+	From, To string
+}
+
+// Bus carries event-channel notifications between compartment VMs.
+// The RPC gate invokes Notify on every crossing; the bus keeps
+// per-channel statistics the harness uses to validate crossing counts.
+type Bus struct {
+	counts map[Event]uint64
+	total  uint64
+}
+
+// NewBus returns an empty event-channel bus.
+func NewBus() *Bus { return &Bus{counts: make(map[Event]uint64)} }
+
+// Notify records a notification from one VM to another. Its signature
+// matches the gate.NewVMRPC hook.
+func (b *Bus) Notify(from, to *gate.Domain) {
+	b.counts[Event{From: from.Name, To: to.Name}]++
+	b.total++
+}
+
+// Total reports all notifications.
+func (b *Bus) Total() uint64 { return b.total }
+
+// Count reports the notifications from one VM to another.
+func (b *Bus) Count(from, to string) uint64 {
+	return b.counts[Event{From: from, To: to}]
+}
+
+// Window is the shared memory area mapped into every compartment VM at
+// an identical address. It is carved from the machine arena with the
+// shared key, and hands out allocations for shared heap/static data —
+// the place the builder puts data annotated as shared in the porting
+// process.
+type Window struct {
+	heap *mem.Heap
+	base mem.Addr
+}
+
+// NewWindow builds the shared window over a page-aligned arena range,
+// tagging it with the shared key so every MPK domain (and every VM)
+// can reach it.
+func NewWindow(a *mem.Arena, base mem.Addr, size int) (*Window, error) {
+	h, err := mem.NewHeap(a, base, size, mem.KeyShared)
+	if err != nil {
+		return nil, fmt.Errorf("vmm: shared window: %w", err)
+	}
+	return &Window{heap: h, base: base}, nil
+}
+
+// Base reports the window's identical-in-all-VMs base address.
+func (w *Window) Base() mem.Addr { return w.base }
+
+// Alloc reserves shared memory.
+func (w *Window) Alloc(n int) (mem.Addr, error) { return w.heap.Alloc(n) }
+
+// Free releases a shared allocation.
+func (w *Window) Free(addr mem.Addr) error { return w.heap.Free(addr) }
+
+// SizeOf reports a shared allocation's size.
+func (w *Window) SizeOf(addr mem.Addr) uint64 { return w.heap.SizeOf(addr) }
+
+var _ mem.Allocator = (*Window)(nil)
