@@ -10,6 +10,7 @@ import (
 	"flexos/internal/core/build"
 	"flexos/internal/core/coloring"
 	"flexos/internal/core/compat"
+	"flexos/internal/core/explore"
 	"flexos/internal/core/gate"
 	"flexos/internal/core/spec"
 	"flexos/internal/harness"
@@ -351,16 +352,65 @@ func BenchmarkAblationSocketMode(b *testing.B) {
 }
 
 // BenchmarkExplore measures full design-space enumeration of the
-// default image.
+// default image, serial vs. parallel. Every variant runs the same
+// memoized pipeline; only the worker-pool size differs, and the
+// outputs are byte-identical (pinned by the explore determinism
+// test). cache-hit-% reports how much coloring work the
+// conflict-fingerprint cache absorbed.
 func BenchmarkExplore(b *testing.B) {
 	libs := spec.DefaultImage()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers4", 4},
+		{"gomaxprocs", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var stats explore.Stats
+			for i := 0; i < b.N; i++ {
+				cands, st, err := explore.ExploreOpts(libs, gate.MPKShared,
+					explore.DefaultWorkload(), explore.Options{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cands) != 16 {
+					b.Fatal("bad candidate count")
+				}
+				stats = st
+			}
+			b.ReportMetric(100*float64(stats.CacheHits)/float64(stats.Combinations), "cache-hit-%")
+			b.ReportMetric(float64(stats.Workers), "workers")
+		})
+	}
+}
+
+// BenchmarkParetoFront measures the skyline filter over a design
+// space grown well past the default image (every subset of one
+// candidate list replicated with perturbed scores), where the old
+// O(n²) dominance filter used to live.
+func BenchmarkParetoFront(b *testing.B) {
+	base, err := flexos.Explore(spec.DefaultImage(), flexos.MPKShared)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Tile the 16 real candidates out to a few thousand points with
+	// small deterministic score offsets, keeping a realistic mix of
+	// dominated points, ties and duplicates.
+	cands := make([]*explore.Candidate, 0, 4096)
+	for i := 0; len(cands) < 4096; i++ {
+		src := base[i%len(base)]
+		c := *src
+		c.EstCycles += float64(i%97) * 3.0
+		c.Security += float64(i%13) * 0.05
+		cands = append(cands, &c)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cands, err := flexos.Explore(libs, flexos.MPKShared)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(cands) != 16 {
-			b.Fatal("bad candidate count")
+		front := explore.ParetoFront(cands)
+		if len(front) == 0 {
+			b.Fatal("empty front")
 		}
 	}
 }

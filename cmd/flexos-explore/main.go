@@ -13,7 +13,13 @@
 //
 //	flexos-explore [-spec file] [-backend mpk|hodor|vm] [-budget 1.5]
 //	               [-require no-wildcard-writes,separated:netstack:sched]
-//	               [-pareto]
+//	               [-pareto] [-parallel=false] [-workers N]
+//
+// Exploration fans the variant combinations over a worker pool
+// (-workers, default GOMAXPROCS; -parallel=false forces one worker)
+// and memoizes graph colorings across isomorphic conflict structures;
+// the run's statistics — combinations, workers, coloring cache hit
+// rate, DSATUR fallbacks — are printed after the candidate list.
 package main
 
 import (
@@ -37,15 +43,21 @@ func main() {
 	pareto := flag.Bool("pareto", false, "print only the Pareto front")
 	measure := flag.Bool("measure", false, "run the Redis workload on every candidate (built-in image only)")
 	measuredWorkload := flag.Bool("measured-workload", false, "derive call rates and base cost from an observed run")
+	parallel := flag.Bool("parallel", true, "explore combinations over a worker pool")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS; implies -parallel)")
 	flag.Parse()
 
-	if err := run(*specPath, *backendName, *budget, *require, *pareto, *measure, *measuredWorkload); err != nil {
+	poolSize := *workers
+	if !*parallel && poolSize <= 0 {
+		poolSize = 1
+	}
+	if err := run(*specPath, *backendName, *budget, *require, *pareto, *measure, *measuredWorkload, poolSize); err != nil {
 		fmt.Fprintf(os.Stderr, "flexos-explore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, backendName string, budget float64, require string, pareto, measure, measuredWorkload bool) error {
+func run(specPath, backendName string, budget float64, require string, pareto, measure, measuredWorkload bool, workers int) error {
 	var libs []*spec.Library
 	if specPath == "" {
 		libs = spec.DefaultImage()
@@ -72,7 +84,7 @@ func run(specPath, backendName string, budget float64, require string, pareto, m
 		fmt.Printf("measured workload: %.0f cycles/op baseline, %d call-rate pairs\n",
 			w.BaseCycles, len(w.CallRates))
 	}
-	cands, err := explore.Explore(libs, backend, w)
+	cands, stats, err := explore.ExploreOpts(libs, backend, w, explore.Options{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -104,6 +116,16 @@ func run(specPath, backendName string, budget float64, require string, pareto, m
 			continue
 		}
 		fmt.Printf("  %6.2fx  %s\n", c.Slowdown(w), c.Describe())
+	}
+	hitRate := 0.0
+	if stats.Combinations > 0 {
+		hitRate = 100 * float64(stats.CacheHits) / float64(stats.Combinations)
+	}
+	fmt.Printf("explored %d combinations on %d workers; coloring cache %d hits / %d misses (%.0f%% hit rate)\n",
+		stats.Combinations, stats.Workers, stats.CacheHits, stats.CacheMisses, hitRate)
+	if stats.ExactFallbacks > 0 {
+		fmt.Printf("warning: %d candidate(s) colored by the DSATUR heuristic (exact solver declined); their compartment counts may be non-minimal\n",
+			stats.ExactFallbacks)
 	}
 
 	if budget > 0 {

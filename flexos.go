@@ -83,15 +83,21 @@ func ExplainConflicts(a, b *Library) []Conflict { return compat.Explain(a, b) }
 
 // PlanCompartments derives a minimal compartmentalization for the
 // library set: pairwise compatibility, then exact graph coloring
-// (DSATUR for graphs beyond the exact solver's limit).
+// (DSATUR for graphs beyond the exact solver's limit — the returned
+// plan's Heuristic field reports when that fallback fired and the
+// compartment count is therefore only an upper bound).
 func PlanCompartments(libs []*Library) (*Plan, error) {
 	m := compat.BuildMatrix(libs)
 	g := coloring.FromMatrix(m)
+	heuristic := false
 	asg, err := coloring.Exact(g)
 	if err != nil {
 		asg = coloring.DSATUR(g)
+		heuristic = true
 	}
-	return coloring.PlanFromAssignment(m, asg), nil
+	plan := coloring.PlanFromAssignment(m, asg)
+	plan.Heuristic = heuristic
+	return plan, nil
 }
 
 // Isolation backends (internal/core/gate).

@@ -1,0 +1,253 @@
+// Package build is FlexOS's build system: it turns a compartment plan
+// plus a handful of knobs — isolation backend, per-library software
+// hardening, allocator granularity, scheduler kind, platform — into a
+// runnable image. This is the paper's §3 toolchain step: the same
+// micro-library code, linked against different gates, allocators and
+// hardening at build time.
+//
+// A Config describes one image. NewWorld instantiates a server image
+// and a load-generating client, wires their network stacks together
+// and hands both to one deterministic scheduler, which is how every
+// measurement in the harness runs.
+package build
+
+import (
+	"fmt"
+
+	"flexos/internal/core/gate"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
+	"flexos/internal/net"
+	"flexos/internal/sh"
+)
+
+// AllocPolicy selects the allocator granularity of an image — the
+// paper's "an allocator per image, per compartment, or per library"
+// build option (Fig. 4 measures its interaction with hardening).
+type AllocPolicy int
+
+// Allocator granularities.
+const (
+	// AllocGlobal links one allocator into the image; every other
+	// library reaches it through the "alloc" library's gate, and if
+	// any library's hardening instruments the allocator, the whole
+	// image pays for it.
+	AllocGlobal AllocPolicy = iota
+	// AllocPerCompartment gives each compartment its own allocator
+	// instance over its own heap.
+	AllocPerCompartment
+	// AllocPerLibrary gives each library its own allocator instance,
+	// so instrumentation stays with the hardened library.
+	AllocPerLibrary
+)
+
+// String implements fmt.Stringer.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocGlobal:
+		return "global"
+	case AllocPerCompartment:
+		return "per-compartment"
+	case AllocPerLibrary:
+		return "per-library"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// ParseAllocPolicy converts a config string to an AllocPolicy.
+func ParseAllocPolicy(s string) (AllocPolicy, error) {
+	switch s {
+	case "global":
+		return AllocGlobal, nil
+	case "per-compartment":
+		return AllocPerCompartment, nil
+	case "per-library":
+		return AllocPerLibrary, nil
+	default:
+		return 0, fmt.Errorf("build: unknown allocator policy %q", s)
+	}
+}
+
+// SchedKind selects which scheduler the image links: the C one or the
+// formally verified port with executable contracts.
+type SchedKind int
+
+// Scheduler kinds.
+const (
+	SchedC SchedKind = iota
+	SchedVerified
+)
+
+// String implements fmt.Stringer.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedC:
+		return "c"
+	case SchedVerified:
+		return "verified"
+	default:
+		return fmt.Sprintf("SchedKind(%d)", int(k))
+	}
+}
+
+// ParseSchedKind converts a config string to a SchedKind.
+func ParseSchedKind(s string) (SchedKind, error) {
+	switch s {
+	case "c":
+		return SchedC, nil
+	case "verified":
+		return SchedVerified, nil
+	default:
+		return 0, fmt.Errorf("build: unknown scheduler kind %q", s)
+	}
+}
+
+// Compartment names one compartment and the libraries linked into it.
+type Compartment struct {
+	Name      string
+	Libraries []string
+}
+
+// Config describes one machine image — the Kconfig-style options of
+// the FlexOS build system.
+type Config struct {
+	// Name labels the image in results.
+	Name string
+	// Compartments is the compartmentalization; empty means
+	// SingleCompartment (the no-isolation baseline).
+	Compartments []Compartment
+	// Backend is the isolation mechanism instantiated at every
+	// compartment boundary.
+	Backend gate.Backend
+	// Alloc is the allocator granularity.
+	Alloc AllocPolicy
+	// SH maps library name -> hardening profile (libraries absent
+	// from the map run unhardened).
+	SH map[string]sh.Profile
+	// Sched selects the C or the verified scheduler.
+	Sched SchedKind
+	// Seal is the MPK backend's PKRU-integrity policy.
+	Seal mpk.SealPolicy
+	// Platform selects the per-packet driver cost model (KVM or Xen).
+	Platform net.Platform
+	// Net tunes the network stack (recv buffer, socket mode, delayed
+	// acks, ...). IP, Platform and RestHard are set by the builder.
+	Net net.Config
+}
+
+// DefaultLibraries is the library set of the canonical six-library
+// image (spec.DefaultImage), in build order.
+var DefaultLibraries = []string{"sched", "alloc", "libc", "netstack", "app", "rest"}
+
+// libComponent maps a default library to its cycle-attribution
+// component (see clock.Component).
+
+// SingleCompartment is the no-isolation baseline: every library in
+// one compartment.
+func SingleCompartment() []Compartment {
+	return []Compartment{{Name: "all", Libraries: libs("sched", "alloc", "libc", "netstack", "app", "rest")}}
+}
+
+// NWOnly isolates the network stack from everything else — the
+// paper's {netstack | rest} model (Fig. 3, Fig. 5 "NW-only").
+func NWOnly() []Compartment {
+	return []Compartment{
+		{Name: "nw", Libraries: libs("netstack")},
+		{Name: "core", Libraries: libs("sched", "alloc", "libc", "app", "rest")},
+	}
+}
+
+// NWSchedRest isolates the network stack and the scheduler separately
+// from the rest — Fig. 5 "NW/Sched/Rest".
+func NWSchedRest() []Compartment {
+	return []Compartment{
+		{Name: "nw", Libraries: libs("netstack")},
+		{Name: "sched", Libraries: libs("sched")},
+		{Name: "core", Libraries: libs("alloc", "libc", "app", "rest")},
+	}
+}
+
+// NWPlusSched merges the network stack and the scheduler into one
+// compartment, isolated from the rest — Fig. 5 "NW+Sched/Rest", the
+// model the paper shows does NOT recover the two-compartment cost
+// because semaphores live in LibC.
+func NWPlusSched() []Compartment {
+	return []Compartment{
+		{Name: "nwsched", Libraries: libs("netstack", "sched")},
+		{Name: "core", Libraries: libs("alloc", "libc", "app", "rest")},
+	}
+}
+
+func libs(names ...string) []string { return names }
+
+// normalize fills defaults and validates a Config; it returns the
+// effective compartment list.
+func normalize(cfg *Config) ([]Compartment, error) {
+	switch cfg.Backend {
+	case gate.FuncCall, gate.MPKShared, gate.MPKSwitched, gate.VMRPC, gate.CHERI:
+	default:
+		return nil, fmt.Errorf("build: unknown backend %v", cfg.Backend)
+	}
+	switch cfg.Alloc {
+	case AllocGlobal, AllocPerCompartment, AllocPerLibrary:
+	default:
+		return nil, fmt.Errorf("build: unknown allocator policy %v", cfg.Alloc)
+	}
+	switch cfg.Sched {
+	case SchedC, SchedVerified:
+	default:
+		return nil, fmt.Errorf("build: unknown scheduler kind %v", cfg.Sched)
+	}
+	known := make(map[string]bool, len(DefaultLibraries))
+	for _, l := range DefaultLibraries {
+		known[l] = true
+	}
+	for l := range cfg.SH {
+		if !known[l] {
+			return nil, fmt.Errorf("build: SH profile for unknown library %q", l)
+		}
+	}
+	comps := cfg.Compartments
+	if len(comps) == 0 {
+		comps = SingleCompartment()
+	}
+	seen := make(map[string]string, len(DefaultLibraries))
+	names := make(map[string]bool, len(comps))
+	for _, c := range comps {
+		if c.Name == "" {
+			return nil, fmt.Errorf("build: compartment with empty name")
+		}
+		if names[c.Name] {
+			return nil, fmt.Errorf("build: duplicate compartment %q", c.Name)
+		}
+		names[c.Name] = true
+		if len(c.Libraries) == 0 {
+			return nil, fmt.Errorf("build: compartment %q holds no library", c.Name)
+		}
+		for _, l := range c.Libraries {
+			if !known[l] {
+				return nil, fmt.Errorf("build: unknown library %q in compartment %q", l, c.Name)
+			}
+			if prev, dup := seen[l]; dup {
+				return nil, fmt.Errorf("build: library %q in both %q and %q", l, prev, c.Name)
+			}
+			seen[l] = c.Name
+		}
+	}
+	for _, l := range DefaultLibraries {
+		if _, ok := seen[l]; !ok {
+			return nil, fmt.Errorf("build: library %q assigned to no compartment", l)
+		}
+	}
+	// MPK shares the hardware's 16 protection keys; one is the shared
+	// window. The VM and CHERI backends have no such limit (a point
+	// the paper makes for gate heterogeneity).
+	if cfg.Backend == gate.MPKShared || cfg.Backend == gate.MPKSwitched {
+		if len(comps) > int(mem.NumKeys)-1 {
+			return nil, fmt.Errorf("build: %d compartments exceed the %d MPK protection keys",
+				len(comps), mem.NumKeys-1)
+		}
+	}
+	return comps, nil
+}

@@ -1,0 +1,276 @@
+package build
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flexos/internal/core/gate"
+	"flexos/internal/mpk"
+	"flexos/internal/net"
+	"flexos/internal/sh"
+)
+
+// The configuration-file surface: a line-oriented, Kconfig-flavoured
+// format mirroring the paper's "a few lines of configuration" claim.
+// Blank lines and '#' comments are ignored. Directives:
+//
+//	name <label>
+//	backend <funccall|mpk-shared|mpk-switched|vm-rpc|cheri|...aliases>
+//	alloc <global|per-compartment|per-library>
+//	sched <c|verified>
+//	seal <static|runtime|pagetable>
+//	platform <kvm|xen>
+//	socket-mode <direct|tcpip-thread>
+//	delayed-ack <on|off>
+//	recv-buf <bytes>
+//	sh <library> <none|full|asan[,cfi][,ssp][,ubsan]>
+//	compartment <name> <library> [library...]
+
+// ParseConfig parses configuration-file source into a Config.
+func ParseConfig(src string) (Config, error) {
+	var cfg Config
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := applyDirective(&cfg, fields); err != nil {
+			return Config{}, fmt.Errorf("build: config line %d: %w", lineno+1, err)
+		}
+	}
+	if _, err := normalize(&cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func applyDirective(cfg *Config, fields []string) error {
+	dir, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d argument(s), got %d", dir, n, len(args))
+		}
+		return nil
+	}
+	switch dir {
+	case "name":
+		if err := need(1); err != nil {
+			return err
+		}
+		cfg.Name = args[0]
+	case "backend":
+		if err := need(1); err != nil {
+			return err
+		}
+		b, err := gate.ParseBackend(args[0])
+		if err != nil {
+			return err
+		}
+		cfg.Backend = b
+	case "alloc":
+		if err := need(1); err != nil {
+			return err
+		}
+		p, err := ParseAllocPolicy(args[0])
+		if err != nil {
+			return err
+		}
+		cfg.Alloc = p
+	case "sched":
+		if err := need(1); err != nil {
+			return err
+		}
+		k, err := ParseSchedKind(args[0])
+		if err != nil {
+			return err
+		}
+		cfg.Sched = k
+	case "seal":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "static":
+			cfg.Seal = mpk.SealStatic
+		case "runtime":
+			cfg.Seal = mpk.SealRuntime
+		case "pagetable":
+			cfg.Seal = mpk.SealPageTable
+		default:
+			return fmt.Errorf("unknown seal policy %q", args[0])
+		}
+	case "platform":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "kvm":
+			cfg.Platform = net.KVM
+		case "xen":
+			cfg.Platform = net.Xen
+		default:
+			return fmt.Errorf("unknown platform %q", args[0])
+		}
+	case "socket-mode":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "direct":
+			cfg.Net.SocketMode = net.DirectMode
+		case "tcpip-thread":
+			cfg.Net.SocketMode = net.TCPIPThreadMode
+		default:
+			return fmt.Errorf("unknown socket mode %q", args[0])
+		}
+	case "delayed-ack":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "on":
+			cfg.Net.DelayedAck = true
+		case "off":
+			cfg.Net.DelayedAck = false
+		default:
+			return fmt.Errorf("delayed-ack wants on or off, got %q", args[0])
+		}
+	case "recv-buf":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("recv-buf wants a positive byte count, got %q", args[0])
+		}
+		cfg.Net.RecvBuf = n
+	case "sh":
+		if err := need(2); err != nil {
+			return err
+		}
+		p, err := parseProfile(args[1])
+		if err != nil {
+			return err
+		}
+		if cfg.SH == nil {
+			cfg.SH = make(map[string]sh.Profile)
+		}
+		if p.Enabled() {
+			cfg.SH[args[0]] = p
+		} else {
+			delete(cfg.SH, args[0])
+		}
+	case "compartment":
+		if len(args) < 2 {
+			return fmt.Errorf("compartment wants a name and at least one library")
+		}
+		cfg.Compartments = append(cfg.Compartments, Compartment{
+			Name:      args[0],
+			Libraries: append([]string(nil), args[1:]...),
+		})
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	return nil
+}
+
+func parseProfile(s string) (sh.Profile, error) {
+	switch s {
+	case "none":
+		return sh.Profile{}, nil
+	case "full":
+		return sh.Full, nil
+	}
+	var p sh.Profile
+	for _, t := range strings.Split(s, ",") {
+		switch t {
+		case "asan":
+			p.ASAN = true
+		case "cfi":
+			p.CFI = true
+		case "ssp":
+			p.StackProtector = true
+		case "ubsan":
+			p.UBSan = true
+		default:
+			return sh.Profile{}, fmt.Errorf("unknown hardening technique %q", t)
+		}
+	}
+	return p, nil
+}
+
+// FormatConfig renders a Config in the configuration-file format, with
+// defaults spelled out; the output round-trips through ParseConfig.
+func FormatConfig(cfg Config) string {
+	var b strings.Builder
+	if cfg.Name != "" {
+		fmt.Fprintf(&b, "name %s\n", cfg.Name)
+	}
+	fmt.Fprintf(&b, "backend %s\n", cfg.Backend)
+	fmt.Fprintf(&b, "alloc %s\n", cfg.Alloc)
+	fmt.Fprintf(&b, "sched %s\n", cfg.Sched)
+	fmt.Fprintf(&b, "seal %s\n", cfg.Seal)
+	if cfg.Platform == net.Xen {
+		fmt.Fprintf(&b, "platform xen\n")
+	} else {
+		fmt.Fprintf(&b, "platform kvm\n")
+	}
+	if cfg.Net.SocketMode == net.TCPIPThreadMode {
+		fmt.Fprintf(&b, "socket-mode tcpip-thread\n")
+	} else {
+		fmt.Fprintf(&b, "socket-mode direct\n")
+	}
+	if cfg.Net.DelayedAck {
+		fmt.Fprintf(&b, "delayed-ack on\n")
+	}
+	if cfg.Net.RecvBuf > 0 {
+		fmt.Fprintf(&b, "recv-buf %d\n", cfg.Net.RecvBuf)
+	}
+	hardened := make([]string, 0, len(cfg.SH))
+	for l, p := range cfg.SH {
+		if p.Enabled() {
+			hardened = append(hardened, l)
+		}
+	}
+	sort.Strings(hardened)
+	for _, l := range hardened {
+		fmt.Fprintf(&b, "sh %s %s\n", l, profileTokens(cfg.SH[l]))
+	}
+	comps := cfg.Compartments
+	if len(comps) == 0 {
+		comps = SingleCompartment()
+	}
+	for _, c := range comps {
+		fmt.Fprintf(&b, "compartment %s %s\n", c.Name, strings.Join(c.Libraries, " "))
+	}
+	return b.String()
+}
+
+func profileTokens(p sh.Profile) string {
+	if p == sh.Full {
+		return "full"
+	}
+	var ts []string
+	if p.ASAN {
+		ts = append(ts, "asan")
+	}
+	if p.CFI {
+		ts = append(ts, "cfi")
+	}
+	if p.StackProtector {
+		ts = append(ts, "ssp")
+	}
+	if p.UBSan {
+		ts = append(ts, "ubsan")
+	}
+	if len(ts) == 0 {
+		return "none"
+	}
+	return strings.Join(ts, ",")
+}

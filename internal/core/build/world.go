@@ -1,0 +1,336 @@
+package build
+
+import (
+	"fmt"
+
+	"flexos/internal/cheri"
+	"flexos/internal/clock"
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+	"flexos/internal/libc"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
+	"flexos/internal/net"
+	"flexos/internal/rt"
+	"flexos/internal/sched"
+	"flexos/internal/sh"
+	"flexos/internal/trace"
+	"flexos/internal/vmm"
+)
+
+// Memory layout of one machine's arena. Sizes are generous: the
+// harness streams megabytes through the stack, but RX/TX buffers are
+// short-lived so heaps never hold more than a window's worth.
+const (
+	sharedHeapSize = 4 << 20 // shared window: cross-compartment I/O buffers
+	privHeapSize   = 2 << 20 // one private heap per allocator instance
+)
+
+// Machine is one instantiated image: the arena, gates, libraries and
+// per-library runtime environments produced by building a Config.
+type Machine struct {
+	// Config is the image description the machine was built from.
+	Config Config
+	// CPU is the machine's virtual cycle clock.
+	CPU *clock.CPU
+	// Arena is the machine's physical memory.
+	Arena *mem.Arena
+	// Registry routes cross-library calls through the right gate.
+	Registry *gate.Registry
+	// MPK is the protection-key unit (nil unless an MPK backend).
+	MPK *mpk.Unit
+	// CHERI is the capability machine (nil unless the CHERI backend).
+	CHERI *cheri.Machine
+	// Bus is the inter-VM notification bus (nil unless VM RPC).
+	Bus *vmm.Bus
+	// LibC is the machine's C library instance.
+	LibC *libc.LibC
+	// Stack is the machine's TCP/IP stack instance.
+	Stack *net.Stack
+	// Wrappers are the generated precondition-check call gates (§5's
+	// static-analysis flow; a build artifact, not a runtime object).
+	Wrappers []Wrapper
+
+	envs  map[string]*rt.Env
+	comps []Compartment
+}
+
+// World is a server machine wired to a load-generating client, both
+// driven by one deterministic scheduler — the unit every harness
+// measurement runs on.
+type World struct {
+	Server *Machine
+	Client *Machine
+	// Sched is the shared cooperative scheduler.
+	Sched sched.Scheduler
+	// Wire is the virtual link between the two stacks.
+	Wire *net.Wire
+}
+
+// libComponents attributes each default library's cycles.
+var libComponents = map[string]clock.Component{
+	"sched":    clock.CompSched,
+	"alloc":    clock.CompAlloc,
+	"libc":     clock.CompLibC,
+	"netstack": clock.CompNet,
+	"app":      clock.CompApp,
+	"rest":     clock.CompRest,
+}
+
+// NewWorld builds a server image from cfg plus a structurally
+// identical client (whose cycles are never reported), connects their
+// network stacks and hands both to one scheduler.
+func NewWorld(cfg Config) (*World, error) {
+	comps, err := normalize(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	var s sched.Scheduler
+	switch cfg.Sched {
+	case SchedVerified:
+		s = sched.NewVerifiedScheduler()
+	default:
+		s = sched.NewCScheduler()
+	}
+	server, err := newMachine(cfg, comps, s, net.IP4(10, 0, 0, 1))
+	if err != nil {
+		return nil, fmt.Errorf("build: server: %w", err)
+	}
+	// The client is a load generator, not a system under test: its
+	// cycles are never reported, and its socket calls run in direct
+	// mode so the shared scheduler isn't churned by a second tcpip
+	// thread.
+	clientCfg := cfg
+	clientCfg.Net.SocketMode = net.DirectMode
+	client, err := newMachine(clientCfg, comps, s, net.IP4(10, 0, 0, 2))
+	if err != nil {
+		return nil, fmt.Errorf("build: client: %w", err)
+	}
+	wire := net.Connect(server.Stack, client.Stack)
+	server.Stack.StartTCPIP(s)
+	return &World{Server: server, Client: client, Sched: s, Wire: wire}, nil
+}
+
+// newMachine instantiates one image: memory layout, protection
+// domains, gates, allocators, hardening, libc and the network stack.
+func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAddr) (*Machine, error) {
+	m := &Machine{
+		Config: cfg,
+		CPU:    clock.New(),
+		envs:   make(map[string]*rt.Env, len(DefaultLibraries)),
+		comps:  comps,
+	}
+
+	// --- memory layout ---------------------------------------------
+	// Page 0 stays unmapped (NilAddr), then the shared window, then
+	// one private heap per allocator instance.
+	heapCount := 1 // AllocGlobal
+	switch cfg.Alloc {
+	case AllocPerCompartment:
+		heapCount = len(comps)
+	case AllocPerLibrary:
+		heapCount = len(DefaultLibraries)
+	}
+	arenaSize := mem.PageSize + sharedHeapSize + heapCount*privHeapSize
+	m.Arena = mem.NewArena(arenaSize)
+
+	base := mem.Addr(mem.PageSize)
+	shared, err := mem.NewHeap(m.Arena, base, sharedHeapSize, mem.KeyShared)
+	if err != nil {
+		return nil, err
+	}
+	base += sharedHeapSize
+
+	// compKey gives compartment i protection key i+1 (key 0 is the
+	// shared window). normalize already bounded the count for MPK.
+	compOf := make(map[string]int, len(DefaultLibraries)) // lib -> compartment index
+	for i, c := range comps {
+		for _, l := range c.Libraries {
+			compOf[l] = i
+		}
+	}
+	compKey := func(i int) mem.Key { return mem.Key(i + 1) }
+
+	// Decide whether the image needs an ASAN runtime at all.
+	anyASAN := false
+	for _, p := range cfg.SH {
+		if p.ASAN {
+			anyASAN = true
+		}
+	}
+	var asan *sh.ASAN
+	if anyASAN {
+		asan = sh.NewASAN(m.Arena, m.CPU)
+	}
+
+	// instrument wraps a heap with the ASAN allocator when the
+	// libraries it serves include a hardened one — the paper's Fig. 4
+	// mechanism: sharing an allocator with a hardened library means
+	// inheriting its instrumentation.
+	instrument := func(h mem.Allocator, served ...string) mem.Allocator {
+		if asan == nil {
+			return h
+		}
+		for _, l := range served {
+			if cfg.SH[l].ASAN {
+				return sh.NewAllocator(h, asan, m.CPU)
+			}
+		}
+		return h
+	}
+
+	allocOf := make(map[string]mem.Allocator, len(DefaultLibraries))
+	switch cfg.Alloc {
+	case AllocGlobal:
+		h, err := mem.NewHeap(m.Arena, base, privHeapSize, compKey(compOf["alloc"]))
+		if err != nil {
+			return nil, err
+		}
+		a := instrument(h, DefaultLibraries...)
+		for _, l := range DefaultLibraries {
+			allocOf[l] = a
+		}
+	case AllocPerCompartment:
+		for i, c := range comps {
+			h, err := mem.NewHeap(m.Arena, base+mem.Addr(i*privHeapSize), privHeapSize, compKey(i))
+			if err != nil {
+				return nil, err
+			}
+			a := instrument(h, c.Libraries...)
+			for _, l := range c.Libraries {
+				allocOf[l] = a
+			}
+		}
+	case AllocPerLibrary:
+		for i, l := range DefaultLibraries {
+			h, err := mem.NewHeap(m.Arena, base+mem.Addr(i*privHeapSize), privHeapSize, compKey(compOf[l]))
+			if err != nil {
+				return nil, err
+			}
+			allocOf[l] = instrument(h, l)
+		}
+	}
+
+	// --- protection domains and gates ------------------------------
+	domains := make([]*gate.Domain, len(comps))
+	for i, c := range comps {
+		domains[i] = gate.NewDomain(c.Name, compKey(i))
+	}
+
+	direct := gate.NewFuncCall(m.CPU)
+	var cross gate.Gate
+	switch cfg.Backend {
+	case gate.FuncCall:
+		cross = gate.NewFuncCall(m.CPU)
+	case gate.MPKShared, gate.MPKSwitched:
+		m.MPK = mpk.New(m.Arena, m.CPU)
+		m.MPK.SetPolicy(cfg.Seal)
+		for _, d := range domains {
+			m.MPK.RegisterDomain(d.PKRU)
+		}
+		if cfg.Backend == gate.MPKShared {
+			cross = gate.NewMPKShared(m.MPK, m.CPU)
+		} else {
+			cross = gate.NewMPKSwitched(m.MPK, m.CPU)
+		}
+	case gate.VMRPC:
+		m.Bus = vmm.NewBus()
+		cross = gate.NewVMRPC(m.CPU, m.Bus.Notify)
+	case gate.CHERI:
+		m.CHERI = cheri.New(m.Arena, m.CPU)
+		cg := gate.NewCHERI(m.CHERI, m.CPU)
+		// Each compartment gets a sealed code/data capability pair
+		// over its entry page; CInvoke unseals them on crossing.
+		root, err := m.CHERI.Root(mem.PageSize, mem.PageSize, cheri.PermRead|cheri.PermWrite|cheri.PermExecute)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range domains {
+			otype := m.CHERI.AllocOType()
+			code, err := m.CHERI.Seal(root, otype)
+			if err != nil {
+				return nil, err
+			}
+			data, err := m.CHERI.Seal(root, otype)
+			if err != nil {
+				return nil, err
+			}
+			if err := cg.RegisterEntry(d.Name, code, data); err != nil {
+				return nil, err
+			}
+		}
+		cross = cg
+	}
+
+	m.Registry = gate.NewRegistry(direct, cross)
+	for _, d := range domains {
+		m.Registry.AddCompartment(d)
+	}
+	for _, c := range comps {
+		for _, l := range c.Libraries {
+			if err := m.Registry.Assign(l, c.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- per-library runtime environments --------------------------
+	for _, l := range DefaultLibraries {
+		var hard *sh.Hardener
+		if p, ok := cfg.SH[l]; ok && p.Enabled() {
+			hard = sh.NewHardener(libComponents[l], p, asan, nil, m.CPU)
+		}
+		m.envs[l] = &rt.Env{
+			Lib:        l,
+			Comp:       libComponents[l],
+			CPU:        m.CPU,
+			Gates:      m.Registry,
+			Arena:      m.Arena,
+			Alloc:      allocOf[l],
+			Shared:     shared,
+			AllocLocal: cfg.Alloc != AllocGlobal || l == "alloc",
+			Hard:       hard,
+		}
+	}
+
+	// --- libraries -------------------------------------------------
+	m.LibC = libc.New(m.envs["libc"])
+	netCfg := cfg.Net
+	netCfg.IP = ip
+	if cfg.Platform != 0 {
+		netCfg.Platform = cfg.Platform
+	}
+	netCfg.RestHard = m.envs["rest"].Hard
+	m.Stack = net.NewStack(m.envs["netstack"], m.LibC, s, netCfg)
+
+	m.Wrappers = GenerateWrappers(spec.DefaultImage(), comps)
+	return m, nil
+}
+
+// Env returns the runtime environment of one library ("app", "libc",
+// ...); it panics on unknown names, which indicates a build bug.
+func (m *Machine) Env(lib string) *rt.Env {
+	e, ok := m.envs[lib]
+	if !ok {
+		panic(fmt.Sprintf("build: no environment for library %q", lib))
+	}
+	return e
+}
+
+// Compartments returns the machine's effective compartment list.
+func (m *Machine) Compartments() []Compartment { return m.comps }
+
+// EnableTracing attaches a crossing trace of up to capacity events to
+// the machine's gate registry and returns the ring.
+func (m *Machine) EnableTracing(capacity int) *trace.Ring {
+	ring := trace.NewRing(capacity)
+	m.Registry.SetTracer(func(fromComp, toComp string) {
+		ring.Emit(trace.Event{
+			Cycles: m.CPU.Cycles(),
+			Kind:   "crossing",
+			From:   fromComp,
+			To:     toComp,
+		})
+	})
+	return ring
+}

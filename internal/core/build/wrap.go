@@ -1,0 +1,82 @@
+package build
+
+import (
+	"fmt"
+	"sort"
+
+	"flexos/internal/core/spec"
+)
+
+// Wrapper is one generated precondition-check call gate. FlexOS's §5
+// flow: when a library declares executable preconditions (the
+// verified scheduler's thread_add/thread_rm contracts), the build
+// system emits a wrapper at each compartment boundary that re-checks
+// them on entry — callers inside the callee's own compartment are
+// trusted and call the raw entry point instead. Wrappers are a build
+// artifact: the cost estimate for one check is clock.CostPrecondCheck.
+type Wrapper struct {
+	// Callee is the library owning the guarded function.
+	Callee string
+	// Fn is the guarded function name.
+	Fn string
+	// Checks are the precondition predicates compiled into the
+	// wrapper, in declaration order.
+	Checks []string
+	// Callers are the compartments whose calls route through the
+	// wrapper (every compartment except the callee's own).
+	Callers []string
+}
+
+// String renders the wrapper as the generated C-ish stub it stands for.
+func (w Wrapper) String() string {
+	return fmt.Sprintf("%s.%s: check %v for callers %v", w.Callee, w.Fn, w.Checks, w.Callers)
+}
+
+// GenerateWrappers emits the precondition wrappers for an image:
+// one per guarded function of each library that declares
+// preconditions, listing the foreign compartments whose calls must
+// pass through it. Libraries absent from the compartment plan (or
+// functions with no preconditions) produce nothing.
+func GenerateWrappers(libs []*spec.Library, comps []Compartment) []Wrapper {
+	compOf := make(map[string]string, len(comps))
+	for _, c := range comps {
+		for _, l := range c.Libraries {
+			compOf[l] = c.Name
+		}
+	}
+	var out []Wrapper
+	for _, l := range libs {
+		if len(l.Spec.Preconditions) == 0 {
+			continue
+		}
+		home, placed := compOf[l.Name]
+		if !placed {
+			continue
+		}
+		var callers []string
+		for _, c := range comps {
+			if c.Name != home {
+				callers = append(callers, c.Name)
+			}
+		}
+		if len(callers) == 0 {
+			// Single-compartment image: every caller is trusted, no
+			// wrapper is emitted (the baseline pays nothing).
+			continue
+		}
+		fns := make([]string, 0, len(l.Spec.Preconditions))
+		for fn := range l.Spec.Preconditions {
+			fns = append(fns, fn)
+		}
+		sort.Strings(fns)
+		for _, fn := range fns {
+			out = append(out, Wrapper{
+				Callee:  l.Name,
+				Fn:      fn,
+				Checks:  append([]string(nil), l.Spec.Preconditions[fn]...),
+				Callers: callers,
+			})
+		}
+	}
+	return out
+}

@@ -293,6 +293,10 @@ func lowestFree(g *Graph, colors []int, v int) int {
 // by name.
 type Plan struct {
 	Compartments [][]string
+	// Heuristic marks a plan whose coloring came from the DSATUR
+	// heuristic because the exact solver declined the graph (beyond
+	// ExactLimit): the compartment count may be non-minimal.
+	Heuristic bool
 }
 
 // NumCompartments reports the compartment count.

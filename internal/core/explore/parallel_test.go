@@ -1,0 +1,158 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+)
+
+// renderCandidates serializes every observable field of a candidate
+// list so two explorations can be compared byte for byte (floats at
+// full precision — any ranking flicker must show up here).
+func renderCandidates(cands []*Candidate) string {
+	var b strings.Builder
+	for i, c := range cands {
+		names := make([]string, len(c.Libs))
+		for j, l := range c.Libs {
+			names[j] = l.VariantName()
+		}
+		fmt.Fprintf(&b, "%d: libs=%v colors=%v plan=%v backend=%v hardened=%d separated=%d sec=%.17g est=%.17g heur=%v\n",
+			i, names, c.Assignment.Colors, c.Plan.Compartments, c.Backend,
+			c.HardenedLibs, c.SeparatedPairs, c.Security, c.EstCycles, c.Heuristic)
+	}
+	return b.String()
+}
+
+// TestExploreDeterministicAcrossWorkers pins the tentpole guarantee:
+// the parallel explorer returns byte-identical candidates in the same
+// order as the serial path, for every worker count.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	libs := spec.DefaultImage()
+	w := DefaultWorkload()
+	serial, sstats, err := ExploreOpts(libs, gate.MPKShared, w, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Workers != 1 {
+		t.Fatalf("serial run used %d workers", sstats.Workers)
+	}
+	want := renderCandidates(serial)
+	for _, workers := range []int{2, 8} {
+		got, stats, err := ExploreOpts(libs, gate.MPKShared, w, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rendered := renderCandidates(got); rendered != want {
+			t.Errorf("workers=%d output differs from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, want, rendered)
+		}
+		if stats.Combinations != sstats.Combinations {
+			t.Errorf("workers=%d saw %d combinations, serial saw %d",
+				workers, stats.Combinations, sstats.Combinations)
+		}
+	}
+}
+
+// TestExploreStats checks the coloring cache's bookkeeping: hits and
+// misses partition the combinations, and the shared conflict
+// structure of the default image actually produces hits.
+func TestExploreStats(t *testing.T) {
+	_, stats, err := ExploreOpts(spec.DefaultImage(), gate.MPKShared, DefaultWorkload(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Combinations != 16 {
+		t.Fatalf("got %d combinations, want 16", stats.Combinations)
+	}
+	if stats.CacheHits+stats.CacheMisses != stats.Combinations {
+		t.Errorf("hits %d + misses %d != combinations %d",
+			stats.CacheHits, stats.CacheMisses, stats.Combinations)
+	}
+	if stats.CacheMisses < 1 {
+		t.Error("no coloring was ever computed")
+	}
+	if stats.CacheHits < 1 {
+		t.Errorf("expected shared conflict structure to produce cache hits, got %d misses for %d combos",
+			stats.CacheMisses, stats.Combinations)
+	}
+	if stats.ExactFallbacks != 0 {
+		t.Errorf("default image should color exactly, got %d DSATUR fallbacks", stats.ExactFallbacks)
+	}
+}
+
+// TestExploreSurfacesExactFallback drives the explorer past the exact
+// solver's vertex limit and checks the DSATUR fallback is counted and
+// marked on the candidate instead of being swallowed.
+func TestExploreSurfacesExactFallback(t *testing.T) {
+	n := 45 // beyond coloring.ExactLimit
+	libs := make([]*spec.Library, n)
+	for i := range libs {
+		libs[i] = &spec.Library{Name: fmt.Sprintf("lib%02d", i)}
+	}
+	cands, stats, err := ExploreOpts(libs, gate.MPKShared, DefaultWorkload(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	if !cands[0].Heuristic {
+		t.Error("candidate not marked Heuristic after DSATUR fallback")
+	}
+	if !cands[0].Plan.Heuristic {
+		t.Error("plan not marked Heuristic after DSATUR fallback")
+	}
+	if stats.ExactFallbacks != 1 {
+		t.Errorf("got %d fallbacks, want 1", stats.ExactFallbacks)
+	}
+}
+
+// TestParetoFrontMatchesQuadratic cross-checks the skyline sweep
+// against the definitional O(n²) dominance filter on a mixed input
+// with ties and duplicates.
+func TestParetoFrontMatchesQuadratic(t *testing.T) {
+	mk := func(cost, sec float64) *Candidate {
+		return &Candidate{EstCycles: cost, Security: sec}
+	}
+	cands := []*Candidate{
+		mk(4000, 0), mk(4500, 3), mk(4500, 3), // duplicate skyline point
+		mk(4500, 2),              // same cost, dominated
+		mk(5000, 3),              // dominated by cheaper equal-security
+		mk(5200, 5), mk(6000, 4), // one on, one off the front
+		mk(6100, 7), mk(6100, 7), mk(6100, 6),
+	}
+	want := map[*Candidate]bool{}
+	for _, c := range cands {
+		dominated := false
+		for _, o := range cands {
+			if o == c {
+				continue
+			}
+			if o.Security >= c.Security && o.EstCycles <= c.EstCycles &&
+				(o.Security > c.Security || o.EstCycles < c.EstCycles) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			want[c] = true
+		}
+	}
+	front := ParetoFront(cands)
+	if len(front) != len(want) {
+		t.Fatalf("skyline kept %d candidates, quadratic keeps %d", len(front), len(want))
+	}
+	for _, c := range front {
+		if !want[c] {
+			t.Errorf("skyline kept dominated candidate (%.0f, %.1f)", c.EstCycles, c.Security)
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].EstCycles < front[i-1].EstCycles {
+			t.Error("front not sorted by cost")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+)
+
+// declaredBackends enumerates every Backend constant. A new backend
+// added after CHERI is picked up automatically as long as the
+// constants stay contiguous: the probe walks until String() falls
+// through to the "Backend(n)" default.
+func declaredBackends(t *testing.T) []Backend {
+	t.Helper()
+	var out []Backend
+	for b := FuncCall; ; b++ {
+		if strings.HasPrefix(b.String(), "Backend(") {
+			break
+		}
+		out = append(out, b)
+	}
+	if len(out) < 5 {
+		t.Fatalf("expected at least 5 declared backends, found %d", len(out))
+	}
+	return out
+}
+
+// TestParseBackendRoundTrips guards the string surface: every declared
+// backend's String() must parse back to the same backend, so config
+// files written by FormatConfig always load.
+func TestParseBackendRoundTrips(t *testing.T) {
+	for _, b := range declaredBackends(t) {
+		got, err := ParseBackend(b.String())
+		if err != nil {
+			t.Errorf("ParseBackend(%q) failed: %v", b.String(), err)
+			continue
+		}
+		if got != b {
+			t.Errorf("ParseBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+}
+
+// TestCrossingCostCoversAllBackends guards the estimator against the
+// silent `default: 0` in CrossingCost: a backend the cost table does
+// not know would make the explorer rank every compartmentalization as
+// free.
+func TestCrossingCostCoversAllBackends(t *testing.T) {
+	for _, b := range declaredBackends(t) {
+		if CrossingCost(b) == 0 {
+			t.Errorf("CrossingCost(%v) = 0; the cost table does not cover it", b)
+		}
+	}
+}
