@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|all [-quick] [-ops N]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|all [-quick] [-ops N]
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	flag.Parse()
@@ -51,6 +51,12 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatCtxSwitch(r))
+		case "datapath":
+			r, err := harness.DataPath(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatDataPath(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -60,7 +66,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

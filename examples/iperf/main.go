@@ -72,9 +72,12 @@ func main() {
 			100*float64(cyc)/float64(res.ServerCycles))
 	}
 	if ring != nil {
-		fmt.Printf("  last %d of %d crossings:\n", ring.Len(), ring.Total())
+		fmt.Printf("  last %d of %d events:\n", ring.Len(), ring.Total())
 		for _, e := range ring.Events() {
 			fmt.Printf("    %s\n", e)
+		}
+		if d := ring.Dropped(); d > 0 {
+			fmt.Printf("  (%d older events overwritten; raise -trace to keep more)\n", d)
 		}
 	}
 }

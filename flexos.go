@@ -34,6 +34,8 @@ import (
 	"flexos/internal/core/gate"
 	"flexos/internal/core/spec"
 	"flexos/internal/harness"
+	"flexos/internal/mem"
+	"flexos/internal/net"
 	"flexos/internal/sh"
 	"flexos/internal/trace"
 )
@@ -178,6 +180,25 @@ var (
 	NWOnly            = build.NWOnly
 	NWSchedRest       = build.NWSchedRest
 	NWPlusSched       = build.NWPlusSched
+)
+
+// DataPath selects how socket payloads move between compartments
+// (internal/net): shared-window descriptors or per-boundary copies.
+type DataPath = net.DataPath
+
+// Data paths.
+const (
+	DataPathShared = net.DataPathShared
+	DataPathCopy   = net.DataPathCopy
+)
+
+// Zero-copy buffer plumbing (internal/mem).
+type (
+	// BufRef is a ref-counted descriptor over a shared-window buffer.
+	BufRef = mem.BufRef
+	// SharedPool is the slab pool behind the zero-copy data path, with
+	// leak accounting.
+	SharedPool = mem.SharedPool
 )
 
 // NewWorld builds a server from cfg plus a default client, connected

@@ -86,21 +86,22 @@ func (s *Server) Serve(t *sched.Thread, maxConns int) error {
 }
 
 func (s *Server) serveConn(t *sched.Thread, conn *net.Socket) error {
-	var rx, tx mem.Addr
+	var rxBuf, txBuf mem.BufRef
 	if err := s.call("malloc", 1, func() error {
 		var err error
-		if rx, err = s.lc.MallocShared(bufSize); err != nil {
+		if rxBuf, err = s.lc.BufAlloc(bufSize); err != nil {
 			return err
 		}
-		tx, err = s.lc.MallocShared(bufSize)
+		txBuf, err = s.lc.BufAlloc(bufSize)
 		return err
 	}); err != nil {
 		return err
 	}
+	rx, tx := rxBuf.Addr, txBuf.Addr
 	defer func() {
 		_ = s.call("free", 1, func() error {
-			_ = s.lc.FreeShared(rx)
-			return s.lc.FreeShared(tx)
+			_ = s.lc.BufFree(rxBuf)
+			return s.lc.BufFree(txBuf)
 		})
 	}()
 
@@ -228,16 +229,17 @@ func (c *Client) Get(t *sched.Thread, path string) (int, []byte, error) {
 	}); err != nil {
 		return 0, nil, err
 	}
-	var buf mem.Addr
+	var bufRef mem.BufRef
 	if err := c.env.CallFn("libc", "malloc", 1, func() error {
 		var err error
-		buf, err = c.lc.MallocShared(bufSize)
+		bufRef, err = c.lc.BufAlloc(bufSize)
 		return err
 	}); err != nil {
 		return 0, nil, err
 	}
+	buf := bufRef.Addr
 	defer func() {
-		_ = c.env.CallFn("libc", "free", 1, func() error { return c.lc.FreeShared(buf) })
+		_ = c.env.CallFn("libc", "free", 1, func() error { return c.lc.BufFree(bufRef) })
 	}()
 
 	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: flexos\r\n\r\n", path)

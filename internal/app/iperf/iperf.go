@@ -67,12 +67,13 @@ func (s *Server) Run(t *sched.Thread) error {
 	}); err != nil {
 		return fmt.Errorf("iperf server accept: %w", err)
 	}
-	// The recv buffer crosses the app/libc/netstack boundary: shared
-	// data, allocated in the window.
-	var buf mem.Addr
+	// The recv buffer crosses the app/libc/netstack boundary: a
+	// ref-counted descriptor over the shared window, handed down the
+	// stack by reference on the zero-copy data path.
+	var buf mem.BufRef
 	if err := s.call("malloc", 1, func() error {
 		var err error
-		buf, err = s.libc.MallocShared(s.RecvBuf)
+		buf, err = s.libc.BufAlloc(s.RecvBuf)
 		return err
 	}); err != nil {
 		return err
@@ -81,7 +82,7 @@ func (s *Server) Run(t *sched.Thread) error {
 		var n int
 		err := s.call("recv", 3, func() error {
 			var err error
-			n, err = s.libc.Recv(t, conn, buf, s.RecvBuf)
+			n, err = s.libc.RecvBuf(t, conn, buf)
 			return err
 		})
 		if err == io.EOF {
@@ -94,7 +95,7 @@ func (s *Server) Run(t *sched.Thread) error {
 		s.BytesReceived += uint64(n)
 		s.Recvs++
 	}
-	return s.call("free", 1, func() error { return s.libc.FreeShared(buf) })
+	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
 }
 
 // Client sends Total bytes in WriteSize chunks and closes.
@@ -130,17 +131,17 @@ func (c *Client) Run(t *sched.Thread) error {
 	if err != nil {
 		return fmt.Errorf("iperf client connect: %w", err)
 	}
-	var buf mem.Addr
+	var buf mem.BufRef
 	if err := c.env.CallFn("libc", "malloc", 1, func() error {
 		var err error
-		buf, err = c.libc.MallocShared(c.WriteSize)
+		buf, err = c.libc.BufAlloc(c.WriteSize)
 		return err
 	}); err != nil {
 		return err
 	}
 	// Fill the payload pattern once.
 	if err := c.env.CallFn("libc", "memset", 3, func() error {
-		return c.libc.Memset(buf, 'x', c.WriteSize)
+		return c.libc.Memset(buf.Addr, 'x', c.WriteSize)
 	}); err != nil {
 		return err
 	}
@@ -153,7 +154,7 @@ func (c *Client) Run(t *sched.Thread) error {
 		var n int
 		err := c.env.CallFn("libc", "send", 3, func() error {
 			var err error
-			n, err = c.libc.Send(t, conn, buf, chunk)
+			n, err = c.libc.SendBuf(t, conn, buf, chunk)
 			return err
 		})
 		if err != nil {
@@ -161,6 +162,9 @@ func (c *Client) Run(t *sched.Thread) error {
 		}
 		remaining -= n
 		c.BytesSent += uint64(n)
+	}
+	if err := c.env.CallFn("libc", "free", 1, func() error { return c.libc.BufFree(buf) }); err != nil {
+		return err
 	}
 	return c.env.CallFn("libc", "close", 1, func() error { return c.libc.Close(t, conn) })
 }

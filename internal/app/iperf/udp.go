@@ -43,10 +43,10 @@ func (s *UDPServer) Run(t *sched.Thread) error {
 	if err != nil {
 		return fmt.Errorf("iperf udp server: %w", err)
 	}
-	var buf mem.Addr
+	var buf mem.BufRef
 	if err := s.env.CallFn("libc", "malloc", 1, func() error {
 		var err error
-		buf, err = s.libc.MallocShared(s.RecvBuf)
+		buf, err = s.libc.BufAlloc(s.RecvBuf)
 		return err
 	}); err != nil {
 		return err
@@ -55,7 +55,7 @@ func (s *UDPServer) Run(t *sched.Thread) error {
 		var n int
 		err := s.env.CallFn("libc", "recvfrom", 3, func() error {
 			var err error
-			n, _, _, err = s.libc.RecvFrom(t, sock, buf, s.RecvBuf)
+			n, _, _, err = s.libc.RecvFrom(t, sock, buf.Addr, s.RecvBuf)
 			return err
 		})
 		if err != nil {
@@ -68,7 +68,7 @@ func (s *UDPServer) Run(t *sched.Thread) error {
 		s.BytesReceived += uint64(n)
 		s.Datagrams++
 	}
-	_ = s.env.CallFn("libc", "free", 1, func() error { return s.libc.FreeShared(buf) })
+	_ = s.env.CallFn("libc", "free", 1, func() error { return s.libc.BufFree(buf) })
 	return s.env.CallFn("libc", "udp_close", 1, func() error { return s.libc.UDPClose(sock) })
 }
 
@@ -111,13 +111,13 @@ func (c *UDPClient) Run(t *sched.Thread) error {
 	if err != nil {
 		return fmt.Errorf("iperf udp client: %w", err)
 	}
-	var buf mem.Addr
+	var buf mem.BufRef
 	if err := c.env.CallFn("libc", "malloc", 1, func() error {
 		var err error
-		if buf, err = c.libc.MallocShared(c.Datagram); err != nil {
+		if buf, err = c.libc.BufAlloc(c.Datagram); err != nil {
 			return err
 		}
-		return c.libc.Memset(buf, 'u', c.Datagram)
+		return c.libc.Memset(buf.Addr, 'u', c.Datagram)
 	}); err != nil {
 		return err
 	}
@@ -128,7 +128,7 @@ func (c *UDPClient) Run(t *sched.Thread) error {
 			chunk = remaining
 		}
 		if err := c.env.CallFn("libc", "sendto", 4, func() error {
-			return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf, chunk)
+			return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf.Addr, chunk)
 		}); err != nil {
 			return fmt.Errorf("iperf udp client send: %w", err)
 		}
@@ -140,8 +140,11 @@ func (c *UDPClient) Run(t *sched.Thread) error {
 	}
 	// End marker.
 	if err := c.env.CallFn("libc", "sendto", 4, func() error {
-		return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf, 0)
+		return c.libc.SendTo(t, sock, c.ServerIP, c.ServerPort, buf.Addr, 0)
 	}); err != nil {
+		return err
+	}
+	if err := c.env.CallFn("libc", "free", 1, func() error { return c.libc.BufFree(buf) }); err != nil {
 		return err
 	}
 	return c.env.CallFn("libc", "udp_close", 1, func() error { return c.libc.UDPClose(sock) })

@@ -22,10 +22,11 @@ type Client struct {
 	ServerIP   net.IPAddr
 	ServerPort uint16
 
-	conn    *net.Socket
-	rx, tx  mem.Addr
-	rxLen   int
-	bufSize int
+	conn         *net.Socket
+	rx, tx       mem.Addr
+	rxBuf, txBuf mem.BufRef
+	rxLen        int
+	bufSize      int
 }
 
 // NewClient builds a client for the app environment of the client
@@ -45,18 +46,29 @@ func (c *Client) Connect(t *sched.Thread) error {
 		return fmt.Errorf("redis client: %w", err)
 	}
 	return c.env.CallFn("libc", "malloc", 1, func() error {
-		if c.rx, err = c.lc.MallocShared(c.bufSize); err != nil {
+		if c.rxBuf, err = c.lc.BufAlloc(c.bufSize); err != nil {
 			return err
 		}
-		c.tx, err = c.lc.MallocShared(c.bufSize)
-		return err
+		if c.txBuf, err = c.lc.BufAlloc(c.bufSize); err != nil {
+			return err
+		}
+		c.rx, c.tx = c.rxBuf.Addr, c.txBuf.Addr
+		return nil
 	})
 }
 
-// Close shuts the connection down.
+// Close releases the buffers and shuts the connection down.
 func (c *Client) Close(t *sched.Thread) error {
 	if c.conn == nil {
 		return nil
+	}
+	if c.rx != mem.NilAddr {
+		_ = c.env.CallFn("libc", "free", 1, func() error {
+			_ = c.lc.BufFree(c.rxBuf)
+			_ = c.lc.BufFree(c.txBuf)
+			c.rx, c.tx = mem.NilAddr, mem.NilAddr
+			return nil
+		})
 	}
 	return c.env.CallFn("libc", "close", 1, func() error { return c.lc.Close(t, c.conn) })
 }

@@ -104,7 +104,9 @@ func (s *Server) ServeConn(t *sched.Thread, conn *net.Socket) error {
 type connState struct {
 	srv    *Server
 	rx, tx mem.Addr
-	rxLen  int
+	// rxBuf/txBuf are the pool descriptors behind rx/tx.
+	rxBuf, txBuf mem.BufRef
+	rxLen        int
 }
 
 func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
@@ -193,11 +195,14 @@ func (c *connState) allocBuffers() error {
 	s := c.srv
 	return s.call("malloc", 1, func() error {
 		var err error
-		if c.rx, err = s.lc.MallocShared(s.bufSize); err != nil {
+		if c.rxBuf, err = s.lc.BufAlloc(s.bufSize); err != nil {
 			return err
 		}
-		c.tx, err = s.lc.MallocShared(s.bufSize)
-		return err
+		if c.txBuf, err = s.lc.BufAlloc(s.bufSize); err != nil {
+			return err
+		}
+		c.rx, c.tx = c.rxBuf.Addr, c.txBuf.Addr
+		return nil
 	})
 }
 
@@ -205,10 +210,10 @@ func (c *connState) freeBuffers() {
 	s := c.srv
 	_ = s.call("free", 1, func() error {
 		if c.rx != mem.NilAddr {
-			_ = s.lc.FreeShared(c.rx)
+			_ = s.lc.BufFree(c.rxBuf)
 		}
 		if c.tx != mem.NilAddr {
-			_ = s.lc.FreeShared(c.tx)
+			_ = s.lc.BufFree(c.txBuf)
 		}
 		c.rx, c.tx = mem.NilAddr, mem.NilAddr
 		return nil

@@ -38,6 +38,7 @@ const (
 	CompGate  Component = "gate"
 	CompSH    Component = "sh"
 	CompVMM   Component = "vmm"
+	CompCopy  Component = "copy"
 )
 
 // Hz is the frequency of the simulated CPU. The paper's testbed is a

@@ -50,6 +50,16 @@ const (
 	CostChecksumChunk     = 1
 	CostChecksumChunkSize = 32
 
+	// CostCrossCopyChunk is the per-16-byte cost of copying a payload
+	// across a compartment boundary under copy transfer semantics
+	// (Config.DataPath=copy). It is deliberately much more expensive
+	// than CostMemChunk: a boundary copy runs against cold lines owned
+	// by the other compartment and pays bounds/permission checks on
+	// every chunk, where an intra-compartment memcpy streams warm AVX
+	// copies. Charged to CompCopy so the copy-vs-share axis shows up
+	// as its own component in bench output.
+	CostCrossCopyChunk = 12
+
 	// CostPacketFixed is the fixed per-packet processing cost of the
 	// network stack (header parse/build, demux, timers).
 	CostPacketFixed = 2000
@@ -154,6 +164,16 @@ func CopyCycles(n int) uint64 {
 	}
 	chunks := (n + CostMemChunkSize - 1) / CostMemChunkSize
 	return uint64(chunks * CostMemChunk)
+}
+
+// CrossCopyCycles returns the cycle cost of copying n bytes across a
+// compartment boundary under copy transfer semantics.
+func CrossCopyCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	chunks := (n + CostMemChunkSize - 1) / CostMemChunkSize
+	return uint64(chunks * CostCrossCopyChunk)
 }
 
 // ChecksumCycles returns the cycle cost of checksumming n bytes.

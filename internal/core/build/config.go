@@ -131,6 +131,11 @@ type Config struct {
 	Seal mpk.SealPolicy
 	// Platform selects the per-packet driver cost model (KVM or Xen).
 	Platform net.Platform
+	// DataPath selects how socket payloads move between compartments:
+	// DataPathShared (the default) hands ref-counted shared-window
+	// descriptors across gates; DataPathCopy charges a boundary copy at
+	// every cross-compartment hop (the pre-pool behaviour).
+	DataPath net.DataPath
 	// Net tunes the network stack (recv buffer, socket mode, delayed
 	// acks, ...). IP, Platform and RestHard are set by the builder.
 	Net net.Config
@@ -198,6 +203,11 @@ func normalize(cfg *Config) ([]Compartment, error) {
 	case SchedC, SchedVerified:
 	default:
 		return nil, fmt.Errorf("build: unknown scheduler kind %v", cfg.Sched)
+	}
+	switch cfg.DataPath {
+	case net.DataPathShared, net.DataPathCopy:
+	default:
+		return nil, fmt.Errorf("build: unknown data path %v", cfg.DataPath)
 	}
 	known := make(map[string]bool, len(DefaultLibraries))
 	for _, l := range DefaultLibraries {

@@ -22,6 +22,7 @@ import (
 //	sched <c|verified>
 //	seal <static|runtime|pagetable>
 //	platform <kvm|xen>
+//	datapath <shared|copy>
 //	socket-mode <direct|tcpip-thread>
 //	delayed-ack <on|off>
 //	recv-buf <bytes>
@@ -117,6 +118,15 @@ func applyDirective(cfg *Config, fields []string) error {
 		default:
 			return fmt.Errorf("unknown platform %q", args[0])
 		}
+	case "datapath":
+		if err := need(1); err != nil {
+			return err
+		}
+		dp, err := net.ParseDataPath(args[0])
+		if err != nil {
+			return err
+		}
+		cfg.DataPath = dp
 	case "socket-mode":
 		if err := need(1); err != nil {
 			return err
@@ -221,6 +231,7 @@ func FormatConfig(cfg Config) string {
 	} else {
 		fmt.Fprintf(&b, "platform kvm\n")
 	}
+	fmt.Fprintf(&b, "datapath %s\n", cfg.DataPath)
 	if cfg.Net.SocketMode == net.TCPIPThreadMode {
 		fmt.Fprintf(&b, "socket-mode tcpip-thread\n")
 	} else {

@@ -47,6 +47,10 @@ type Machine struct {
 	LibC *libc.LibC
 	// Stack is the machine's TCP/IP stack instance.
 	Stack *net.Stack
+	// Pool is the ref-counted shared-window buffer pool behind the
+	// zero-copy data path; its leak accounting (Outstanding,
+	// OutstandingRefs) must read zero after a clean run.
+	Pool *mem.SharedPool
 	// Wrappers are the generated precondition-check call gates (§5's
 	// static-analysis flow; a build artifact, not a runtime object).
 	Wrappers []Wrapper
@@ -140,6 +144,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 		return nil, err
 	}
 	base += sharedHeapSize
+	m.Pool = mem.NewSharedPool(shared)
 
 	// compKey gives compartment i protection key i+1 (key 0 is the
 	// shared window). normalize already bounded the count for MPK.
@@ -289,6 +294,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			Alloc:      allocOf[l],
 			Shared:     shared,
 			AllocLocal: cfg.Alloc != AllocGlobal || l == "alloc",
+			Pool:       m.Pool,
 			Hard:       hard,
 		}
 	}
@@ -299,6 +305,9 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	netCfg.IP = ip
 	if cfg.Platform != 0 {
 		netCfg.Platform = cfg.Platform
+	}
+	if cfg.DataPath != 0 {
+		netCfg.DataPath = cfg.DataPath
 	}
 	netCfg.RestHard = m.envs["rest"].Hard
 	m.Stack = net.NewStack(m.envs["netstack"], m.LibC, s, netCfg)
@@ -321,7 +330,9 @@ func (m *Machine) Env(lib string) *rt.Env {
 func (m *Machine) Compartments() []Compartment { return m.comps }
 
 // EnableTracing attaches a crossing trace of up to capacity events to
-// the machine's gate registry and returns the ring.
+// the machine's gate registry and returns the ring. Buffer-pool
+// lifecycle events (buf-alloc, buf-ref, buf-release) and data-path
+// boundary copies (buf-copy) land in the same ring.
 func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 	ring := trace.NewRing(capacity)
 	m.Registry.SetTracer(func(fromComp, toComp string) {
@@ -330,6 +341,22 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 			Kind:   "crossing",
 			From:   fromComp,
 			To:     toComp,
+		})
+	})
+	m.Pool.SetTracer(func(kind string, addr mem.Addr, n int) {
+		ring.Emit(trace.Event{
+			Cycles: m.CPU.Cycles(),
+			Kind:   kind,
+			Note:   fmt.Sprintf("%#x+%d", addr, n),
+		})
+	})
+	m.Stack.SetCopyTracer(func(from, to string, n int) {
+		ring.Emit(trace.Event{
+			Cycles: m.CPU.Cycles(),
+			Kind:   "buf-copy",
+			From:   from,
+			To:     to,
+			Note:   fmt.Sprintf("%d bytes", n),
 		})
 	})
 	return ring

@@ -3,6 +3,11 @@ package gate
 import (
 	"strings"
 	"testing"
+
+	"flexos/internal/cheri"
+	"flexos/internal/clock"
+	"flexos/internal/mem"
+	"flexos/internal/mpk"
 )
 
 // declaredBackends enumerates every Backend constant. A new backend
@@ -36,6 +41,116 @@ func TestParseBackendRoundTrips(t *testing.T) {
 		}
 		if got != b {
 			t.Errorf("ParseBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+}
+
+// TestParseBackendTable pins the alias surface and the unknown-value
+// behaviour of both directions of the string conversion.
+func TestParseBackendTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"funccall", FuncCall, true},
+		{"none", FuncCall, true},
+		{"mpk-shared", MPKShared, true},
+		{"mpk", MPKShared, true},
+		{"erim", MPKShared, true},
+		{"mpk-switched", MPKSwitched, true},
+		{"hodor", MPKSwitched, true},
+		{"vm-rpc", VMRPC, true},
+		{"vm", VMRPC, true},
+		{"ept", VMRPC, true},
+		{"xen", VMRPC, true},
+		{"cheri", CHERI, true},
+		{"caps", CHERI, true},
+		{"capabilities", CHERI, true},
+		{"", 0, false},
+		{"sgx", 0, false},
+		{"MPK", 0, false}, // aliases are case-sensitive
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if s := Backend(99).String(); !strings.HasPrefix(s, "Backend(") {
+		t.Errorf("Backend(99).String() = %q", s)
+	}
+}
+
+// TestTransferPolicyPerBackend pins the copy-vs-share axis: backends
+// whose compartments can reach the key-0 window pass buffers by
+// reference, the rest marshal payload bytes.
+func TestTransferPolicyPerBackend(t *testing.T) {
+	want := map[Backend]TransferPolicy{
+		FuncCall:    TransferShare,
+		MPKShared:   TransferShare,
+		MPKSwitched: TransferCopy,
+		VMRPC:       TransferCopy,
+		CHERI:       TransferShare,
+	}
+	for _, b := range declaredBackends(t) {
+		if got := b.Transfer(); got != want[b] {
+			t.Errorf("%v.Transfer() = %v, want %v", b, got, want[b])
+		}
+	}
+}
+
+// TestCrossingCostMatchesGateCharge keeps the explorer's static cost
+// table honest: for every backend, an empty-frame Gate.Call through the
+// real gate must charge exactly CrossingCost(b) — any per-word or
+// fixed-cost drift between the estimator and the implementation shows
+// up here.
+func TestCrossingCostMatchesGateCharge(t *testing.T) {
+	arena := mem.NewArena(16 * mem.PageSize)
+	cpu := clock.New()
+	a, b := NewDomain("a", 1), NewDomain("b", 2)
+
+	cm := cheri.New(arena, cpu)
+	cg := NewCHERI(cm, cpu)
+	root, err := cm.Root(mem.PageSize, mem.PageSize, cheri.PermRead|cheri.PermWrite|cheri.PermExecute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Domain{a, b} {
+		otype := cm.AllocOType()
+		code, err := cm.Seal(root, otype)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := cm.Seal(root, otype)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cg.RegisterEntry(d.Name, code, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gates := map[Backend]Gate{
+		FuncCall:    NewFuncCall(cpu),
+		MPKShared:   NewMPKShared(mpk.New(arena, cpu), cpu),
+		MPKSwitched: NewMPKSwitched(mpk.New(arena, cpu), cpu),
+		VMRPC:       NewVMRPC(cpu, nil),
+		CHERI:       cg,
+	}
+	for _, backend := range declaredBackends(t) {
+		g, ok := gates[backend]
+		if !ok {
+			t.Errorf("no gate under test for backend %v", backend)
+			continue
+		}
+		cpu.Reset()
+		if err := g.Call(a, b, CallFrame{}, func() error { return nil }); err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		if got, want := cpu.Cycles(), CrossingCost(backend); got != want {
+			t.Errorf("%v: empty-frame Gate.Call charged %d cycles, CrossingCost reports %d",
+				backend, got, want)
 		}
 	}
 }

@@ -48,11 +48,13 @@ func (g *CHERIGate) Backend() Backend { return CHERI }
 func (g *CHERIGate) Crossings() uint64 { return g.count }
 
 // Call implements Gate: CInvoke into the target domain, run fn,
-// CInvoke back.
-func (g *CHERIGate) Call(from, to *Domain, argWords int, fn func() error) error {
+// CInvoke back. Payload buffers cross by reference — the callee
+// receives (bounded) capabilities for them, so only the descriptor
+// words are marshalled.
+func (g *CHERIGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
 	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear+
-		uint64(argWords)*clock.CostParamCopyPerWord)
+		uint64(frame.EntryWords())*clock.CostParamCopyPerWord)
 	pair, ok := g.entries[to.Name]
 	if !ok {
 		return fmt.Errorf("gate: no sealed entry pair for domain %q", to.Name)

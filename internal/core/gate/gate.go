@@ -64,6 +64,48 @@ func (b Backend) String() string {
 	}
 }
 
+// TransferPolicy says how a backend moves payload buffers across a
+// crossing. Share-policy backends pass BufRef descriptors by reference
+// (the callee reads the payload in place through the key-0 shared
+// window); copy-policy backends have no shared mapping to lean on and
+// must marshal payload bytes through the crossing.
+type TransferPolicy int
+
+const (
+	// TransferShare passes buffers by reference: only the descriptor
+	// words cross the boundary.
+	TransferShare TransferPolicy = iota
+	// TransferCopy marshals payload bytes across the boundary; the
+	// gate charges per payload word.
+	TransferCopy
+)
+
+// String implements fmt.Stringer.
+func (p TransferPolicy) String() string {
+	switch p {
+	case TransferShare:
+		return "share"
+	case TransferCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("TransferPolicy(%d)", int(p))
+	}
+}
+
+// Transfer reports the backend's buffer transfer policy. Direct calls,
+// MPK-shared and CHERI leave payloads in place (the callee can reach
+// the shared window); MPK-switched moves to a private stack and copies
+// parameters, and VM RPC has no shared address space at all, so both
+// retain copy semantics.
+func (b Backend) Transfer() TransferPolicy {
+	switch b {
+	case MPKSwitched, VMRPC:
+		return TransferCopy
+	default:
+		return TransferShare
+	}
+}
+
 // ParseBackend converts a config string to a Backend.
 func ParseBackend(s string) (Backend, error) {
 	switch s {
@@ -98,15 +140,46 @@ func NewDomain(name string, keys ...mem.Key) *Domain {
 	return &Domain{Name: name, Keys: keys, PKRU: mpk.DomainPKRU(keys...)}
 }
 
+// CallFrame describes what crosses the boundary on one gate call: the
+// scalar argument words, the scalar return words, and any payload
+// buffers attached as shared-window descriptors. On share-policy
+// backends only the descriptor words (BufRefWords each) are charged;
+// on copy-policy backends the gate additionally charges the payload
+// bytes, rounded up to words — that asymmetry is the copy-vs-share
+// axis the DataPath knob explores.
+type CallFrame struct {
+	ArgWords int
+	RetWords int
+	Bufs     []mem.BufRef
+}
+
+// EntryWords is the number of scalar words marshalled on entry: the
+// arguments plus one descriptor (address + length/capacity word) per
+// attached buffer.
+func (f CallFrame) EntryWords() int {
+	return f.ArgWords + mem.BufRefWords*len(f.Bufs)
+}
+
+// PayloadWords is the payload size of the attached buffers in 8-byte
+// words; copy-policy gates charge these on top of the entry words.
+func (f CallFrame) PayloadWords() int {
+	w := 0
+	for _, b := range f.Bufs {
+		w += (b.Len + 7) / 8
+	}
+	return w
+}
+
 // Gate is one crossing mechanism between two domains.
 type Gate interface {
 	// Backend reports which mechanism this gate implements.
 	Backend() Backend
-	// Call runs fn in the context of the `to` domain, passing
-	// argWords 8-byte argument words and copying the return value
-	// back. The error is fn's error; gate-internal failures (PKRU
-	// sealing violations) are also reported.
-	Call(from, to *Domain, argWords int, fn func() error) error
+	// Call runs fn in the context of the `to` domain. The frame
+	// describes the argument and return words crossing the boundary
+	// and any payload buffers attached by descriptor. The error is
+	// fn's error; gate-internal failures (PKRU sealing violations,
+	// descriptors outside the shared window) are also reported.
+	Call(from, to *Domain, frame CallFrame, fn func() error) error
 	// Crossings reports how many domain crossings the gate performed
 	// (a call and its return are one crossing pair, counted once).
 	Crossings() uint64
@@ -126,7 +199,7 @@ func (g *funcGate) Crossings() uint64 {
 	return g.count
 }
 
-func (g *funcGate) Call(from, to *Domain, argWords int, fn func() error) error {
+func (g *funcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
 	g.cpu.Charge(clock.CompGate, clock.CostCall)
 	return fn()
@@ -159,23 +232,47 @@ func (g *mpkGate) Backend() Backend {
 
 func (g *mpkGate) Crossings() uint64 { return g.count }
 
-func (g *mpkGate) Call(from, to *Domain, argWords int, fn func() error) error {
+// checkSharedBufs verifies that every descriptor in the frame points
+// into key-0 pages: a by-reference buffer the callee cannot map would
+// fault on first touch, so the gate rejects it up front.
+func (g *mpkGate) checkSharedBufs(frame CallFrame) error {
+	arena := g.unit.Arena()
+	for _, b := range frame.Bufs {
+		if !b.Valid() || !arena.CheckKey(b.Addr, max(b.Len, 1), mem.KeyShared) {
+			return fmt.Errorf("buffer %#x+%d outside the shared window", uint64(b.Addr), b.Len)
+		}
+	}
+	return nil
+}
+
+func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
+	if !g.switched {
+		// By-reference transfer: descriptors must land in the shared
+		// window or the callee's loads would fault.
+		if err := g.checkSharedBufs(frame); err != nil {
+			return fmt.Errorf("gate %s->%s: %w", from.Name, to.Name, err)
+		}
+	}
 	// Entry: clear caller-saved registers, switch PKRU, optionally
-	// switch stacks and copy parameters across.
+	// switch stacks and copy parameters (and, with copy transfer
+	// semantics, payload bytes) across.
 	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
+		words := frame.EntryWords() + frame.PayloadWords()
 		g.cpu.Charge(clock.CompGate,
-			clock.CostStackSwitch+uint64(argWords)*clock.CostParamCopyPerWord)
+			clock.CostStackSwitch+uint64(words)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(to.PKRU); err != nil {
 		return fmt.Errorf("gate %s->%s: %w", from.Name, to.Name, err)
 	}
 	callErr := fn()
-	// Return path: restore caller domain (and stack).
+	// Return path: restore caller domain (and stack), copying the
+	// declared return words back.
 	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
-		g.cpu.Charge(clock.CompGate, clock.CostStackSwitch+clock.CostParamCopyPerWord)
+		g.cpu.Charge(clock.CompGate,
+			clock.CostStackSwitch+uint64(frame.RetWords)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(from.PKRU); err != nil {
 		return fmt.Errorf("gate %s<-%s return: %w", from.Name, to.Name, err)
@@ -204,18 +301,22 @@ func NewVMRPC(cpu *clock.CPU, notify func(from, to *Domain)) Gate {
 func (g *rpcGate) Backend() Backend  { return VMRPC }
 func (g *rpcGate) Crossings() uint64 { return g.count }
 
-func (g *rpcGate) Call(from, to *Domain, argWords int, fn func() error) error {
+func (g *rpcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
-	// Request: marshal descriptor + args into the shared ring, notify
-	// the callee VM, callee is scheduled.
+	// Request: marshal descriptor + args — and, since the VMs share no
+	// address space, the payload bytes themselves — into the shared
+	// ring, notify the callee VM, callee is scheduled.
+	words := frame.EntryWords() + frame.PayloadWords()
 	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
-		uint64(argWords)*clock.CostParamCopyPerWord)
+		uint64(words)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(from, to)
 	}
 	callErr := fn()
-	// Response: notification back to the caller VM.
-	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify)
+	// Response: notification back to the caller VM, return words
+	// marshalled through the ring.
+	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+
+		uint64(frame.RetWords)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(to, from)
 	}

@@ -42,7 +42,7 @@ func TestFuncGate(t *testing.T) {
 	cpu := clock.New()
 	g := NewFuncCall(cpu)
 	ran := false
-	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), 3, func() error {
+	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), CallFrame{ArgWords: 3, RetWords: 1}, func() error {
 		ran = true
 		return nil
 	})
@@ -74,7 +74,7 @@ func TestMPKGateSwitchesDomains(t *testing.T) {
 	cpu.Reset()
 
 	g := NewMPKShared(u, cpu)
-	err := g.Call(app, net, 2, func() error {
+	err := g.Call(app, net, CallFrame{ArgWords: 2, RetWords: 1}, func() error {
 		// Inside the gate we are in net's domain: net memory is
 		// accessible, app memory is not.
 		if _, err := u.Load(2*mem.PageSize, 8); err != nil {
@@ -101,12 +101,12 @@ func TestMPKSwitchedCostsMore(t *testing.T) {
 	u, _, cpu := newMPKWorld(t)
 	app, net := NewDomain("app", 1), NewDomain("net", 2)
 	shared := NewMPKShared(u, cpu)
-	mustNoErr(t, shared.Call(app, net, 4, func() error { return nil }))
+	mustNoErr(t, shared.Call(app, net, CallFrame{ArgWords: 4, RetWords: 1}, func() error { return nil }))
 	sharedCost := cpu.Cycles()
 
 	cpu.Reset()
 	switched := NewMPKSwitched(u, cpu)
-	mustNoErr(t, switched.Call(app, net, 4, func() error { return nil }))
+	mustNoErr(t, switched.Call(app, net, CallFrame{ArgWords: 4, RetWords: 1}, func() error { return nil }))
 	switchedCost := cpu.Cycles()
 
 	if switchedCost <= sharedCost {
@@ -121,7 +121,7 @@ func TestMPKGatePropagatesError(t *testing.T) {
 	u, _, cpu := newMPKWorld(t)
 	g := NewMPKShared(u, cpu)
 	boom := errors.New("boom")
-	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), 0, func() error { return boom })
+	err := g.Call(NewDomain("a", 1), NewDomain("b", 2), CallFrame{RetWords: 1}, func() error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -136,7 +136,7 @@ func TestMPKGateSealingViolation(t *testing.T) {
 	a, b := NewDomain("a", 1), NewDomain("b", 2)
 	u.RegisterDomain(a.PKRU) // b is NOT registered
 	g := NewMPKShared(u, cpu)
-	if err := g.Call(a, b, 0, func() error { return nil }); err == nil {
+	if err := g.Call(a, b, CallFrame{RetWords: 1}, func() error { return nil }); err == nil {
 		t.Fatal("unregistered target domain accepted")
 	}
 }
@@ -148,7 +148,7 @@ func TestVMRPCGate(t *testing.T) {
 		notifications = append(notifications, [2]string{from.Name, to.Name})
 	})
 	a, b := NewDomain("a"), NewDomain("b")
-	mustNoErr(t, g.Call(a, b, 2, func() error { return nil }))
+	mustNoErr(t, g.Call(a, b, CallFrame{ArgWords: 2, RetWords: 1}, func() error { return nil }))
 	if len(notifications) != 2 {
 		t.Fatalf("notifications = %v", notifications)
 	}

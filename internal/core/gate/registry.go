@@ -83,16 +83,35 @@ func (r *Registry) SameCompartment(a, b string) bool {
 	return okA && okB && ca == cb
 }
 
+// SharesByReference reports whether payload buffers attached to a call
+// from library a to library b reach the callee without being copied:
+// either both live in the same compartment, or the crossing backend's
+// transfer policy is by-reference.
+func (r *Registry) SharesByReference(a, b string) bool {
+	if r.SameCompartment(a, b) {
+		return true
+	}
+	return r.cross.Backend().Transfer() == TransferShare
+}
+
 // Call routes a cross-library call: the uk_gate placeholder at run
 // time. fromLib is the calling library, toLib the callee; argWords the
-// number of 8-byte argument words the signature carries.
+// number of 8-byte argument words the signature carries (one scalar
+// return word is assumed).
 func (r *Registry) Call(fromLib, toLib string, argWords int, fn func() error) error {
-	return r.CallNamed(fromLib, toLib, "", argWords, fn)
+	return r.CallWithFrame(fromLib, toLib, "", CallFrame{ArgWords: argWords, RetWords: 1}, fn)
 }
 
 // CallNamed is Call with the callee function named, feeding the
 // observer (used to generate draft metadata from observed behaviour).
 func (r *Registry) CallNamed(fromLib, toLib, fnName string, argWords int, fn func() error) error {
+	return r.CallWithFrame(fromLib, toLib, fnName, CallFrame{ArgWords: argWords, RetWords: 1}, fn)
+}
+
+// CallWithFrame is the full-ABI call site: the frame carries argument
+// and return word counts plus any payload buffers attached by
+// descriptor (the zero-copy data path).
+func (r *Registry) CallWithFrame(fromLib, toLib, fnName string, frame CallFrame, fn func() error) error {
 	cf, ok := r.libs[fromLib]
 	if !ok {
 		return fmt.Errorf("gate: caller library %q not assigned", fromLib)
@@ -105,13 +124,13 @@ func (r *Registry) CallNamed(fromLib, toLib, fnName string, argWords int, fn fun
 		r.observer(fromLib, toLib, fnName)
 	}
 	if cf == ct {
-		return r.direct.Call(r.domains[cf], r.domains[ct], argWords, fn)
+		return r.direct.Call(r.domains[cf], r.domains[ct], frame, fn)
 	}
 	r.pairCount[[2]string{cf, ct}]++
 	if r.tracer != nil {
 		r.tracer(cf, ct)
 	}
-	return r.cross.Call(r.domains[cf], r.domains[ct], argWords, fn)
+	return r.cross.Call(r.domains[cf], r.domains[ct], frame, fn)
 }
 
 // Crossings reports the number of inter-compartment crossings between

@@ -339,3 +339,74 @@ func CtxSwitch() (*CtxSwitchResult, error) {
 	}
 	return &CtxSwitchResult{CNanos: c, VerifiedNanos: v, PaperCNanos: 76.6, PaperVNanos: 218.6}, nil
 }
+
+// --- Data path: descriptor passing vs boundary copies ----------------
+
+// DataPathPoint compares one recv-buffer size under both data paths on
+// the MPK-shared NW-only image.
+type DataPathPoint struct {
+	RecvBuf    int
+	SharedMbps float64
+	CopyMbps   float64
+	// CopyCycles is the cycle total attributed to clock.CompCopy under
+	// the copy data path (zero under shared, by construction).
+	CopyCycles uint64
+	// SpeedupPct is the shared-over-copy throughput gain in percent.
+	SpeedupPct float64
+}
+
+// DataPathResult is the copy-vs-shared sweep.
+type DataPathResult struct {
+	Label  string
+	Points []DataPathPoint
+}
+
+// DataPathSizes is the recv-buffer sweep of the data-path experiment.
+func DataPathSizes(quick bool) []int {
+	if quick {
+		return []int{16 << 10}
+	}
+	return []int{4 << 10, 16 << 10, 64 << 10}
+}
+
+// DataPath measures the zero-copy win: the same MPK-shared NW-only
+// image run with shared-window descriptors and with per-boundary
+// copies, throughput attributed per component.
+func DataPath(quick bool) (*DataPathResult, error) {
+	base := build.Config{Name: "MPK-Sha. NW-only", Compartments: build.NWOnly(),
+		Backend: gate.MPKShared, Alloc: build.AllocPerCompartment}
+	out := &DataPathResult{Label: base.Name}
+	for _, size := range DataPathSizes(quick) {
+		total := 16 * size
+		if total < 512<<10 {
+			total = 512 << 10
+		}
+		if total > 8<<20 {
+			total = 8 << 20
+		}
+		run := func(dp net.DataPath) (*IperfResult, error) {
+			cfg := base
+			cfg.DataPath = dp
+			return RunIperf(cfg, total, size)
+		}
+		shared, err := run(net.DataPathShared)
+		if err != nil {
+			return nil, fmt.Errorf("datapath shared @%d: %w", size, err)
+		}
+		copied, err := run(net.DataPathCopy)
+		if err != nil {
+			return nil, fmt.Errorf("datapath copy @%d: %w", size, err)
+		}
+		p := DataPathPoint{
+			RecvBuf:    size,
+			SharedMbps: shared.Gbps * 1000,
+			CopyMbps:   copied.Gbps * 1000,
+			CopyCycles: copied.ByComponent[clock.CompCopy],
+		}
+		if p.CopyMbps > 0 {
+			p.SpeedupPct = (p.SharedMbps/p.CopyMbps - 1) * 100
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}

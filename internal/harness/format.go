@@ -119,3 +119,16 @@ func FormatCtxSwitch(r *CtxSwitchResult) string {
 		"Context switch latency\n  C scheduler:        %.1f ns (paper: %.1f ns)\n  Verified scheduler: %.1f ns (paper: %.1f ns)  (%.2fx)\n",
 		r.CNanos, r.PaperCNanos, r.VerifiedNanos, r.PaperVNanos, r.VerifiedNanos/r.CNanos)
 }
+
+// FormatDataPath renders the copy-vs-shared data-path comparison.
+func FormatDataPath(r *DataPathResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data path: shared descriptors vs boundary copies (%s)\n", r.Label)
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %10s\n",
+		"buf(B)", "shared Mb/s", "copy Mb/s", "copy cycles", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10d %14.1f %14.1f %14d %9.1f%%\n",
+			p.RecvBuf, p.SharedMbps, p.CopyMbps, p.CopyCycles, p.SpeedupPct)
+	}
+	return b.String()
+}

@@ -78,6 +78,9 @@ func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*Iperf
 	if srv.BytesReceived != uint64(totalBytes) {
 		return nil, nil, fmt.Errorf("harness iperf: received %d of %d bytes", srv.BytesReceived, totalBytes)
 	}
+	if err := checkPoolLeaks(w); err != nil {
+		return nil, nil, err
+	}
 	cycles := w.Server.CPU.Cycles()
 	return &IperfResult{
 		Label:        cfg.Name,
@@ -88,6 +91,25 @@ func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*Iperf
 		Crossings:    w.Server.Registry.TotalCrossings(),
 		ByComponent:  w.Server.CPU.ByComponent(),
 	}, ring, nil
+}
+
+// checkPoolLeaks enforces the shared pool's zero-leak invariant on
+// both machines after a run: every buffer handed out by BufAlloc or
+// the stack's rx path must have been released, with no pins left.
+func checkPoolLeaks(w *build.World) error {
+	for _, m := range []struct {
+		role string
+		mach *build.Machine
+	}{{"server", w.Server}, {"client", w.Client}} {
+		p := m.mach.Pool
+		if p == nil {
+			continue
+		}
+		if bufs, refs := p.Outstanding(), p.OutstandingRefs(); bufs != 0 || refs != 0 {
+			return fmt.Errorf("harness: %s pool leak: %d buffers, %d refs outstanding", m.role, bufs, refs)
+		}
+	}
+	return nil
 }
 
 // RedisOp selects the measured Redis operation.
@@ -215,6 +237,9 @@ func runRedisMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.
 	}
 	if cliErr != nil {
 		return nil, fmt.Errorf("harness redis client: %w", cliErr)
+	}
+	if err := checkPoolLeaks(w); err != nil {
+		return nil, err
 	}
 	res.KReqPerSec = clock.OpsPerSec(res.Ops, res.ServerCycles) / 1e3
 	return res, nil

@@ -2,6 +2,7 @@ package libc
 
 import (
 	"flexos/internal/clock"
+	"flexos/internal/core/gate"
 	"flexos/internal/mem"
 	"flexos/internal/net"
 	"flexos/internal/sched"
@@ -64,6 +65,30 @@ func (l *LibC) Recv(t *sched.Thread, s *net.Socket, buf mem.Addr, n int) (int, e
 	return got, err
 }
 
+// RecvBuf is Recv with the destination named by a pool buffer
+// descriptor. When the libc -> netstack crossing shares buffers by
+// reference, the descriptor rides the gate frame and the stack fills
+// the buffer in place; on copy-policy backends the shim degrades to
+// the scalar ABI so the gate does not charge the payload words.
+func (l *LibC) RecvBuf(t *sched.Thread, s *net.Socket, b mem.BufRef) (int, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var got int
+	do := func() error {
+		var err error
+		got, err = s.RecvRef(t, b)
+		return err
+	}
+	var err error
+	if l.env.SharesBufs("netstack") {
+		frame := gate.CallFrame{ArgWords: 3, RetWords: 1, Bufs: []mem.BufRef{b}}
+		err = l.env.CallFrame("netstack", "recv", frame, do)
+	} else {
+		err = l.env.CallFn("netstack", "recv", 3, do)
+	}
+	return got, err
+}
+
 // Send writes n bytes from the arena buffer at buf.
 func (l *LibC) Send(t *sched.Thread, s *net.Socket, buf mem.Addr, n int) (int, error) {
 	l.env.Charge(clock.CostSyscallish)
@@ -74,6 +99,28 @@ func (l *LibC) Send(t *sched.Thread, s *net.Socket, buf mem.Addr, n int) (int, e
 		sent, err = s.Send(t, buf, n)
 		return err
 	})
+	return sent, err
+}
+
+// SendBuf is Send with the source named by a pool buffer descriptor;
+// the stack pins it across the tcpip-thread handoff. Like RecvBuf it
+// degrades to the scalar ABI on copy-policy backends.
+func (l *LibC) SendBuf(t *sched.Thread, s *net.Socket, b mem.BufRef, n int) (int, error) {
+	l.env.Charge(clock.CostSyscallish)
+	l.env.Hard.OnFrame()
+	var sent int
+	do := func() error {
+		var err error
+		sent, err = s.SendRef(t, b, n)
+		return err
+	}
+	var err error
+	if l.env.SharesBufs("netstack") {
+		frame := gate.CallFrame{ArgWords: 3, RetWords: 1, Bufs: []mem.BufRef{b}}
+		err = l.env.CallFrame("netstack", "send", frame, do)
+	} else {
+		err = l.env.CallFn("netstack", "send", 3, do)
+	}
 	return sent, err
 }
 

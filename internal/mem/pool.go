@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BufRef is a descriptor for a payload buffer living in the key-0 shared
+// window. Descriptors — not payload bytes — are what crosses compartment
+// boundaries on share-policy gates: two words (address and length/capacity)
+// per buffer. Len is the number of meaningful bytes; Cap is the size of the
+// underlying slab, so a consumer may write up to Cap bytes in place.
+type BufRef struct {
+	Addr Addr
+	Len  int
+	Cap  int
+}
+
+// Valid reports whether b describes a plausible buffer. It does not prove
+// that b is live in any particular pool; use SharedPool.Owns for that.
+func (b BufRef) Valid() bool {
+	return b.Addr != NilAddr && b.Len >= 0 && b.Cap >= b.Len
+}
+
+// Words is the descriptor size in 64-bit words as it appears in a gate
+// frame: one word for the address, one packing Len and Cap.
+const BufRefWords = 2
+
+// PoolStats counts pool traffic since construction. Recycles counts Gets
+// served from a free list instead of the underlying allocator.
+type PoolStats struct {
+	Gets, Refs, Releases, Recycles, FailedGets uint64
+}
+
+// poolClasses are the slab size classes, chosen to cover the simulator's
+// traffic: MTU-sized rx/tx buffers (2 KiB), small app buffers (256 B), and
+// the common recv-buffer sweep sizes (16/64 KiB). Larger requests bypass
+// the classes and are carved (and returned) directly.
+var poolClasses = []int{256, 2 << 10, 16 << 10, 64 << 10}
+
+type poolSlab struct {
+	cap  int
+	refs int
+}
+
+// SharedPool is a slab-style, ref-counted buffer pool over an allocator for
+// the shared window. It is the backing store of the zero-copy data path:
+// producers Get a buffer, hand its BufRef across compartments by reference,
+// consumers may Ref it to pin it across a handoff, and the last Release
+// recycles the slab onto a per-class free list. The pool does no cycle
+// accounting itself — callers (rt.Env) charge the virtual clock — but it
+// does leak accounting: Outstanding/OutstandingRefs must both be zero once
+// a workload has drained.
+type SharedPool struct {
+	alloc  Allocator
+	free   map[int][]Addr
+	live   map[Addr]*poolSlab
+	stats  PoolStats
+	tracer func(kind string, addr Addr, n int)
+}
+
+// NewSharedPool builds a pool over a, which must allocate from shared
+// (key-0) memory for descriptors to be passable by reference across MPK
+// boundaries.
+func NewSharedPool(a Allocator) *SharedPool {
+	return &SharedPool{
+		alloc: a,
+		free:  make(map[int][]Addr),
+		live:  make(map[Addr]*poolSlab),
+	}
+}
+
+// SetTracer installs fn to observe buffer lifecycle events. Kinds are
+// "buf-alloc", "buf-ref", and "buf-release"; n is the slab capacity.
+func (p *SharedPool) SetTracer(fn func(kind string, addr Addr, n int)) { p.tracer = fn }
+
+func (p *SharedPool) emit(kind string, addr Addr, n int) {
+	if p.tracer != nil {
+		p.tracer(kind, addr, n)
+	}
+}
+
+func (p *SharedPool) classFor(n int) int {
+	i := sort.SearchInts(poolClasses, n)
+	if i < len(poolClasses) {
+		return poolClasses[i]
+	}
+	return n // oversize: carve exactly, no free list
+}
+
+// Get allocates a buffer of at least n bytes and returns a descriptor with
+// Len=n and one reference held by the caller.
+func (p *SharedPool) Get(n int) (BufRef, error) {
+	if n < 0 {
+		return BufRef{}, fmt.Errorf("mem: pool get of %d bytes", n)
+	}
+	size := p.classFor(max(n, 1))
+	var addr Addr
+	if fl := p.free[size]; len(fl) > 0 {
+		addr = fl[len(fl)-1]
+		p.free[size] = fl[:len(fl)-1]
+		p.stats.Recycles++
+	} else {
+		var err error
+		addr, err = p.alloc.Alloc(size)
+		if err != nil {
+			p.stats.FailedGets++
+			return BufRef{}, err
+		}
+	}
+	p.live[addr] = &poolSlab{cap: size, refs: 1}
+	p.stats.Gets++
+	p.emit("buf-alloc", addr, size)
+	return BufRef{Addr: addr, Len: n, Cap: size}, nil
+}
+
+// Ref takes an additional reference on b, pinning it across a handoff
+// (e.g. while a descriptor sits in the tcpip thread's mailbox).
+func (p *SharedPool) Ref(b BufRef) error {
+	s, ok := p.live[b.Addr]
+	if !ok {
+		return fmt.Errorf("mem: ref of non-live buffer %#x", uint64(b.Addr))
+	}
+	s.refs++
+	p.stats.Refs++
+	p.emit("buf-ref", b.Addr, s.cap)
+	return nil
+}
+
+// Release drops one reference on b. When the last reference goes, the slab
+// is recycled onto its class free list (or returned to the allocator for
+// oversize carves) and recycled=true is reported.
+func (p *SharedPool) Release(b BufRef) (recycled bool, err error) {
+	s, ok := p.live[b.Addr]
+	if !ok {
+		return false, fmt.Errorf("mem: release of non-live buffer %#x", uint64(b.Addr))
+	}
+	s.refs--
+	p.stats.Releases++
+	p.emit("buf-release", b.Addr, s.cap)
+	if s.refs > 0 {
+		return false, nil
+	}
+	delete(p.live, b.Addr)
+	if p.classFor(s.cap) == s.cap && containsInt(poolClasses, s.cap) {
+		p.free[s.cap] = append(p.free[s.cap], b.Addr)
+	} else if err := p.alloc.Free(b.Addr); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// Owns reports whether addr names a live pool buffer.
+func (p *SharedPool) Owns(addr Addr) bool {
+	_, ok := p.live[addr]
+	return ok
+}
+
+// Outstanding is the number of live (not yet fully released) buffers.
+func (p *SharedPool) Outstanding() int { return len(p.live) }
+
+// OutstandingRefs is the total reference count across live buffers.
+func (p *SharedPool) OutstandingRefs() int {
+	n := 0
+	for _, s := range p.live {
+		n += s.refs
+	}
+	return n
+}
+
+// Stats returns traffic counters since construction.
+func (p *SharedPool) Stats() PoolStats { return p.stats }
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"flexos/internal/core/gate"
 	"flexos/internal/mem"
 	"flexos/internal/sched"
 )
@@ -76,7 +77,7 @@ func (s tcpState) String() string {
 // the segment points at the payload within it; the buffer is released
 // once the application has consumed it.
 type seg struct {
-	base mem.Addr // rx buffer to free
+	own  rxOwn    // rx buffer to release
 	addr mem.Addr // payload start within the buffer
 	off  int      // consumed prefix
 	n    int      // total payload bytes
@@ -180,9 +181,20 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 	// Drain under a single netstack -> libc crossing: the per-segment
 	// copies are LibC's memcpy (the instrumented hot loop of Table 1),
 	// batched like lwip's netbuf copy helper so the gate cost is per
-	// recv, not per segment.
+	// recv, not per segment. On the shared data path the crossing
+	// carries the queued segments' descriptors, so libc copies out of
+	// the pool buffers in place — the app-edge copy, the only one
+	// between NIC and application.
+	frame := gate.CallFrame{ArgWords: 3, RetWords: 1}
+	if st.sharedRx() {
+		rem := n
+		for i := 0; i < len(s.rcvQ) && rem > 0; i++ {
+			frame.Bufs = append(frame.Bufs, s.rcvQ[i].own.ref)
+			rem -= s.rcvQ[i].n - s.rcvQ[i].off
+		}
+	}
 	copied := 0
-	err := st.env.CallFn("libc", "memcpy", 3, func() error {
+	err := st.env.CallFrame("libc", "memcpy", frame, func() error {
 		for copied < n && len(s.rcvQ) > 0 {
 			sg := &s.rcvQ[0]
 			chunk := sg.n - sg.off
@@ -192,10 +204,11 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 			if err := st.sup.Memcpy(dst+mem.Addr(copied), sg.addr+mem.Addr(sg.off), chunk); err != nil {
 				return err
 			}
+			st.crossCopy(st.env.Lib, "libc", chunk)
 			sg.off += chunk
 			copied += chunk
 			if sg.off == sg.n {
-				if err := st.env.Free(sg.base); err != nil {
+				if err := st.releaseRx(sg.own); err != nil {
 					return err
 				}
 				s.rcvQ = s.rcvQ[1:]
@@ -213,6 +226,22 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 		st.sendFlags(s, flagACK)
 	}
 	return copied, nil
+}
+
+// RecvRef is Recv with the destination described by a pool buffer
+// descriptor: the application pins b while it blocks, so the buffer
+// cannot recycle under a concurrent free, and receives up to b.Len
+// bytes into it. The pin costs nothing — the refcount is a shared-data
+// counter, like the semaphore fast paths.
+func (s *Socket) RecvRef(t *sched.Thread, b mem.BufRef) (int, error) {
+	st := s.stack
+	if p := st.env.Pool; p != nil && p.Owns(b.Addr) {
+		if err := p.Ref(b); err != nil {
+			return 0, err
+		}
+		defer func() { _, _ = p.Release(b) }()
+	}
+	return s.Recv(t, b.Addr, b.Len)
 }
 
 // Send transmits n bytes from the arena buffer at src, blocking on
@@ -261,6 +290,21 @@ func (s *Socket) doSend(t *sched.Thread, src mem.Addr, n int) (int, error) {
 		sent += chunk
 	}
 	return sent, nil
+}
+
+// SendRef transmits the first n bytes of the pool buffer described by
+// b. The descriptor is pinned across the tcpip-thread handoff, so the
+// payload cannot recycle while the send request sits in the mailbox —
+// the lifetime problem descriptor passing introduces and the refcount
+// solves.
+func (s *Socket) SendRef(t *sched.Thread, b mem.BufRef, n int) (int, error) {
+	var sent int
+	err := s.stack.apimsgPinned(t, b, func(cur *sched.Thread) error {
+		var err error
+		sent, err = s.doSend(cur, b.Addr, n)
+		return err
+	})
+	return sent, err
 }
 
 // Close sends FIN and moves toward Closed. Queued received data stays

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexos/internal/clock"
+	"flexos/internal/core/gate"
 	"flexos/internal/mem"
 	"flexos/internal/rt"
 	"flexos/internal/sched"
@@ -56,6 +57,9 @@ type Config struct {
 	// DelAckTicks is the delayed-ack timeout in virtual timer ticks
 	// (default 50).
 	DelAckTicks uint64
+	// DataPath selects copy or shared (descriptor-passing) payload
+	// movement between compartments; see the DataPath type.
+	DataPath DataPath
 	// RestHard is the hardening surface of the "rest of the system"
 	// library, which owns the NIC driver and platform code; the
 	// builder wires it so that hardening "rest" instruments the
@@ -86,6 +90,8 @@ type Stack struct {
 	tcpip      *tcpipState
 	delayedAck bool
 	delAckTick uint64
+	dataPath   DataPath
+	copyTracer func(from, to string, n int)
 
 	nextEphemeral uint16
 	isn           uint32
@@ -128,6 +134,7 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 		mode:          cfg.SocketMode,
 		delayedAck:    cfg.DelayedAck,
 		delAckTick:    cfg.DelAckTicks,
+		dataPath:      cfg.DataPath,
 		nextEphemeral: 49152,
 		isn:           1,
 	}
@@ -245,6 +252,19 @@ func (st *Stack) memcpy(dst, src mem.Addr, n int) error {
 	})
 }
 
+// memcpyIn is memcpy with the destination pool buffer's descriptor
+// attached to the gate frame (the descriptor-passing ABI); on the
+// legacy path it degrades to a plain memcpy.
+func (st *Stack) memcpyIn(dst, src mem.Addr, n int, own rxOwn) error {
+	if !own.pooled {
+		return st.memcpy(dst, src, n)
+	}
+	frame := gate.CallFrame{ArgWords: 3, RetWords: 1, Bufs: []mem.BufRef{own.ref}}
+	return st.env.CallFrame("libc", "memcpy", frame, func() error {
+		return st.sup.Memcpy(dst, src, n)
+	})
+}
+
 // semDown blocks on a LibC semaphore. The uncontended decrement works
 // on the shared counter inline; only blocking crosses into LibC (and
 // from there into the scheduler).
@@ -276,16 +296,20 @@ func (st *Stack) semUp(sem Sem) {
 // sendData transmits one data segment whose payload is copied (in
 // LibC) from the arena buffer at src.
 func (st *Stack) sendData(s *Socket, src mem.Addr, n int) error {
-	// The TX mbuf holds headers + payload, allocated from the
-	// netstack compartment's allocator.
-	mbuf, err := st.env.Malloc(HdrLen + n)
+	// The TX mbuf holds headers + payload: a pool buffer on the shared
+	// data path, a netstack-compartment allocation otherwise.
+	own, err := st.allocRx(HdrLen + n)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = st.env.Free(mbuf) }()
-	if err := st.memcpy(mbuf+HdrLen, src, n); err != nil {
+	mbuf := own.base
+	defer func() { _ = st.releaseRx(own) }()
+	if err := st.memcpyIn(mbuf+HdrLen, src, n, own); err != nil {
 		return err
 	}
+	// Under copy semantics the payload was pulled across the app/libc
+	// boundary into netstack memory.
+	st.crossCopy("libc", st.env.Lib, n)
 	payload, err := st.env.Bytes(mbuf+HdrLen, n)
 	if err != nil {
 		return err
@@ -346,11 +370,13 @@ func (st *Stack) sendFlags(s *Socket, flags uint8) error {
 }
 
 // chargeTx attributes the per-segment stack cost of building and
-// checksumming a frame.
+// checksumming a frame. Under copy semantics the finished frame is
+// also copied out to the driver's tx ring in the rest compartment.
 func (st *Stack) chargeTx(frameLen, payloadLen int) {
 	st.env.Charge(clock.CostPacketFixed + clock.ChecksumCycles(frameLen))
 	st.env.Hard.OnFrame()
 	st.env.Hard.OnTouch(HdrLen)
+	st.crossCopy(st.env.Lib, "rest", frameLen)
 	_ = payloadLen
 }
 
@@ -383,7 +409,10 @@ func (st *Stack) armRtx(s *Socket) {
 	s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay, fire)
 }
 
-// abort fails the connection and wakes every sleeper.
+// abort fails the connection and wakes every sleeper. Queued received
+// data is discarded — a reset connection has nothing left to read — so
+// the rx buffers go back to their allocator (the pool's leak accounting
+// counts them otherwise).
 func (st *Stack) abort(s *Socket, err error) {
 	s.sockErr = err
 	s.state = stClosed
@@ -391,6 +420,11 @@ func (st *Stack) abort(s *Socket, err error) {
 		s.rtxTimer.Stop()
 		s.rtxTimer = nil
 	}
+	for _, sg := range s.rcvQ {
+		_ = st.releaseRx(sg.own)
+	}
+	s.rcvQ = nil
+	s.rcvQueued = 0
 	st.semUp(s.rcvSem)
 	st.semUp(s.sndSem)
 	st.semUp(s.connSem)
@@ -405,17 +439,20 @@ func (st *Stack) abort(s *Socket, err error) {
 // zero-copy: a data segment's buffer is handed to the socket and only
 // released once the application has consumed the payload.
 func (st *Stack) input(frame []byte) {
-	// Driver rx buffer: allocated from the netstack compartment's
-	// allocator, filled by DMA (no CPU cycles).
-	fbuf, err := st.env.Malloc(len(frame))
+	// Driver rx buffer: filled by DMA (no CPU cycles). On the shared
+	// data path it comes from the key-0 pool so its descriptor can
+	// travel to the app edge by reference; otherwise it is allocated
+	// from the netstack compartment's private allocator.
+	own, err := st.allocRx(len(frame))
 	if err != nil {
 		st.stats.DroppedIn++
 		return
 	}
+	fbuf := own.base
 	retained := false
 	defer func() {
 		if !retained {
-			_ = st.env.Free(fbuf)
+			_ = st.releaseRx(own)
 		}
 	}()
 	dma, err := st.env.Bytes(fbuf, len(frame))
@@ -424,6 +461,9 @@ func (st *Stack) input(frame []byte) {
 		return
 	}
 	copy(dma, frame)
+	// Under copy semantics the driver hands the frame bytes from the
+	// rest compartment's rx ring into netstack memory.
+	st.crossCopy("rest", st.env.Lib, len(frame))
 
 	st.env.Charge(clock.CostPacketFixed + clock.ChecksumCycles(len(frame)))
 	st.env.Hard.OnFrame()
@@ -442,12 +482,12 @@ func (st *Stack) input(frame []byte) {
 	}
 	st.stats.SegsIn++
 	if h.Proto == protoUDP {
-		retained = st.udpInput(h, fbuf, len(payload))
+		retained = st.udpInput(h, own, len(payload))
 		return
 	}
 	key := connKey{h.DstPort, h.SrcIP, h.SrcPort}
 	if s, ok := st.conns[key]; ok {
-		retained = st.process(s, h, len(payload), fbuf)
+		retained = st.process(s, h, len(payload), own)
 		return
 	}
 	if h.has(flagSYN) && !h.has(flagACK) {
@@ -504,9 +544,9 @@ func (st *Stack) sendRST(h *header) {
 }
 
 // process advances an existing connection's state machine. The frame
-// sits in the driver rx buffer at fbuf; process reports whether it
+// sits in the driver rx buffer `own`; process reports whether it
 // took ownership of that buffer (zero-copy data acceptance).
-func (st *Stack) process(s *Socket, h *header, payloadLen int, fbuf mem.Addr) bool {
+func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 	if h.has(flagRST) {
 		st.abort(s, ErrConnReset)
 		return false
@@ -540,7 +580,7 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, fbuf mem.Addr) bo
 	// Data processing (receiver side).
 	retained := false
 	if payloadLen > 0 {
-		retained = st.processData(s, h, payloadLen, fbuf)
+		retained = st.processData(s, h, payloadLen, own)
 	}
 
 	// FIN processing.
@@ -597,7 +637,7 @@ func (st *Stack) processAck(s *Socket, h *header) {
 // points at the payload inside it. Out-of-order segments are dropped
 // (the retransmission path recovers them) with a duplicate ACK. It
 // reports whether it retained the rx buffer.
-func (st *Stack) processData(s *Socket, h *header, n int, fbuf mem.Addr) bool {
+func (st *Stack) processData(s *Socket, h *header, n int, own rxOwn) bool {
 	if h.Seq != s.rcvNxt {
 		st.stats.DroppedIn++
 		_ = st.sendFlags(s, flagACK) // duplicate ACK
@@ -609,7 +649,7 @@ func (st *Stack) processData(s *Socket, h *header, n int, fbuf mem.Addr) bool {
 		_ = st.sendFlags(s, flagACK)
 		return false
 	}
-	s.rcvQ = append(s.rcvQ, seg{base: fbuf, addr: fbuf + HdrLen, n: n})
+	s.rcvQ = append(s.rcvQ, seg{own: own, addr: own.base + HdrLen, n: n})
 	s.rcvQueued += n
 	s.rcvNxt += uint32(n)
 	st.stats.BytesIn += uint64(n)

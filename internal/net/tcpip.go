@@ -2,6 +2,7 @@ package net
 
 import (
 	"flexos/internal/clock"
+	"flexos/internal/mem"
 	"flexos/internal/sched"
 )
 
@@ -96,4 +97,19 @@ func (st *Stack) apimsg(t *sched.Thread, fn func(cur *sched.Thread) error) error
 	st.semUp(st.tcpip.reqSem)
 	st.semDown(t, r.done)
 	return r.err
+}
+
+// apimsgPinned is apimsg with a payload buffer pinned for the lifetime
+// of the request: while the message waits in the mailbox and while the
+// tcpip thread works on it, the descriptor's refcount keeps the pool
+// from recycling the buffer under a concurrent release. Non-pool
+// buffers (and stacks without a pool) pass through unpinned.
+func (st *Stack) apimsgPinned(t *sched.Thread, pin mem.BufRef, fn func(cur *sched.Thread) error) error {
+	if p := st.env.Pool; p != nil && pin.Valid() && p.Owns(pin.Addr) {
+		if err := p.Ref(pin); err != nil {
+			return err
+		}
+		defer func() { _, _ = p.Release(pin) }()
+	}
+	return st.apimsg(t, fn)
 }

@@ -3,6 +3,7 @@ package net
 import (
 	"fmt"
 
+	"flexos/internal/core/gate"
 	"flexos/internal/mem"
 	"flexos/internal/sched"
 )
@@ -13,7 +14,7 @@ const MaxDatagram = 1500 - IPHdrLen - UDPHdrLen
 // datagram is one queued received datagram (zero-copy: the socket
 // owns the rx buffer).
 type datagram struct {
-	base    mem.Addr
+	own     rxOwn
 	addr    mem.Addr
 	n       int
 	src     IPAddr
@@ -62,12 +63,19 @@ func (st *Stack) UDPBind(port uint16) (*UDPSocket, error) {
 // LocalPort reports the bound port.
 func (u *UDPSocket) LocalPort() uint16 { return u.localPort }
 
-// Close unbinds the socket and wakes blocked readers.
+// Close unbinds the socket and wakes blocked readers. Undelivered
+// datagrams are discarded and their rx buffers released, as a real
+// socket buffer teardown would.
 func (u *UDPSocket) Close() {
 	if u.closed {
 		return
 	}
 	u.closed = true
+	for _, d := range u.rcvQ {
+		_ = u.stack.releaseRx(d.own)
+	}
+	u.rcvQ = nil
+	u.rcvQueued = 0
 	delete(u.stack.udpSocks, u.localPort)
 	u.stack.semUp(u.rcvSem)
 }
@@ -88,16 +96,18 @@ func (u *UDPSocket) doSendTo(dst IPAddr, dstPort uint16, src mem.Addr, n int) er
 	if n < 0 || n > MaxDatagram {
 		return fmt.Errorf("net: datagram of %d bytes (max %d)", n, MaxDatagram)
 	}
-	mbuf, err := st.env.Malloc(UDPHdrTotal + max(n, 1))
+	own, err := st.allocRx(UDPHdrTotal + max(n, 1))
 	if err != nil {
 		return err
 	}
-	defer func() { _ = st.env.Free(mbuf) }()
+	mbuf := own.base
+	defer func() { _ = st.releaseRx(own) }()
 	var payload []byte
 	if n > 0 {
-		if err := st.memcpy(mbuf+UDPHdrTotal, src, n); err != nil {
+		if err := st.memcpyIn(mbuf+UDPHdrTotal, src, n, own); err != nil {
 			return err
 		}
+		st.crossCopy("libc", st.env.Lib, n)
 		payload, err = st.env.Bytes(mbuf+UDPHdrTotal, n)
 		if err != nil {
 			return err
@@ -139,14 +149,28 @@ func (u *UDPSocket) RecvFrom(t *sched.Thread, dst mem.Addr, n int) (int, IPAddr,
 	}
 	var err error
 	if copied > 0 {
-		err = st.env.CallFn("libc", "memcpy", 3, func() error {
-			return st.sup.Memcpy(dst, d.addr, copied)
+		err = st.env.CallFrame("libc", "memcpy", udpDrainFrame(d), func() error {
+			if err := st.sup.Memcpy(dst, d.addr, copied); err != nil {
+				return err
+			}
+			st.crossCopy(st.env.Lib, "libc", copied)
+			return nil
 		})
 	}
-	if ferr := st.env.Free(d.base); err == nil {
+	if ferr := st.releaseRx(d.own); err == nil {
 		err = ferr
 	}
 	return copied, d.src, d.srcPort, err
+}
+
+// udpDrainFrame builds the app-edge copy's gate frame, attaching the
+// datagram's descriptor when it lives in the pool.
+func udpDrainFrame(d datagram) gate.CallFrame {
+	f := gate.CallFrame{ArgWords: 3, RetWords: 1}
+	if d.own.pooled {
+		f.Bufs = []mem.BufRef{d.own.ref}
+	}
+	return f
 }
 
 // Pending reports queued datagrams (tests).
@@ -154,7 +178,7 @@ func (u *UDPSocket) Pending() int { return len(u.rcvQ) }
 
 // udpInput accepts one datagram for a bound socket; it reports whether
 // it retained the rx buffer.
-func (st *Stack) udpInput(h *header, fbuf mem.Addr, n int) bool {
+func (st *Stack) udpInput(h *header, own rxOwn, n int) bool {
 	u, ok := st.udpSocks[h.DstPort]
 	if !ok {
 		st.stats.DroppedIn++
@@ -168,7 +192,7 @@ func (st *Stack) udpInput(h *header, fbuf mem.Addr, n int) bool {
 		return false
 	}
 	u.rcvQ = append(u.rcvQ, datagram{
-		base: fbuf, addr: fbuf + UDPHdrTotal, n: n,
+		own: own, addr: own.base + UDPHdrTotal, n: n,
 		src: h.SrcIP, srcPort: h.SrcPort,
 	})
 	u.rcvQueued += n

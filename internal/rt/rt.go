@@ -41,6 +41,10 @@ type Env struct {
 	// allocation calls are then direct, with no gate crossing. A
 	// global allocator is reached through the "alloc" library's gate.
 	AllocLocal bool
+	// Pool is the machine's shared-window buffer pool, backing the
+	// zero-copy data path. Nil when the image was built without one
+	// (tests building envs by hand); callers fall back to Malloc paths.
+	Pool *mem.SharedPool
 	// Hard is the library's hardening surface (nil-safe).
 	Hard *sh.Hardener
 }
@@ -58,6 +62,21 @@ func (e *Env) Call(to string, argWords int, fn func() error) error {
 // metadata generation can record the call edge.
 func (e *Env) CallFn(to, fnName string, argWords int, fn func() error) error {
 	return e.Gates.CallNamed(e.Lib, to, fnName, argWords, fn)
+}
+
+// CallFrame routes a call carrying a full gate frame — argument and
+// return word counts plus payload buffers attached by descriptor.
+func (e *Env) CallFrame(to, fnName string, frame gate.CallFrame, fn func() error) error {
+	return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
+}
+
+// SharesBufs reports whether buffers attached to a call from this
+// library to lib `to` reach the callee by reference (same compartment,
+// or a share-policy backend). When false, callers should stay on the
+// scalar ABI: attaching buffers to a copy-policy gate charges the full
+// payload at the crossing.
+func (e *Env) SharesBufs(to string) bool {
+	return e.Gates.SharesByReference(e.Lib, to)
 }
 
 // Malloc allocates n bytes. With a local allocator the call is direct;
@@ -109,6 +128,67 @@ func (e *Env) FreeShared(addr mem.Addr) error {
 	}
 	e.CPU.Charge(clock.CompAlloc, clock.CostFree)
 	return e.Shared.Free(addr)
+}
+
+// PoolGet allocates a ref-counted buffer from the shared pool, charged
+// like MallocShared (the pool lives in the shared window, so no gate is
+// crossed). Used for buffers whose descriptors travel across library
+// boundaries: app recv/send buffers and the like.
+func (e *Env) PoolGet(n int) (mem.BufRef, error) {
+	e.CPU.Charge(clock.CompAlloc, clock.CostMalloc)
+	return e.Pool.Get(n)
+}
+
+// PoolRelease drops this library's reference on a PoolGet buffer,
+// charged like FreeShared. The slab recycles once the last reference
+// (including any pins) is gone.
+func (e *Env) PoolRelease(b mem.BufRef) error {
+	e.CPU.Charge(clock.CompAlloc, clock.CostFree)
+	_, err := e.Pool.Release(b)
+	return err
+}
+
+// PoolGetOwned allocates a pool buffer charged exactly like Malloc
+// would have been: through the "alloc" gate when the allocator is
+// global, plus the ASAN malloc surcharge when this library's heap is
+// instrumented. It exists so the netstack can move its rx/tx buffers
+// from the private heap into the shared pool without shifting a single
+// cycle of allocation cost between configurations.
+func (e *Env) PoolGetOwned(n int) (mem.BufRef, error) {
+	alloc := func() (mem.BufRef, error) {
+		e.CPU.Charge(clock.CompAlloc, clock.CostMalloc)
+		if _, ok := e.Alloc.(*sh.Allocator); ok {
+			e.CPU.Charge(clock.CompSH, clock.CostASANMallocExtra)
+		}
+		return e.Pool.Get(n)
+	}
+	if e.AllocLocal {
+		return alloc()
+	}
+	var b mem.BufRef
+	err := e.CallFn("alloc", "malloc", 1, func() error {
+		var err error
+		b, err = alloc()
+		return err
+	})
+	return b, err
+}
+
+// PoolReleaseOwned releases a PoolGetOwned buffer with Free's charging
+// (alloc-gate routing and ASAN free surcharge included).
+func (e *Env) PoolReleaseOwned(b mem.BufRef) error {
+	release := func() error {
+		e.CPU.Charge(clock.CompAlloc, clock.CostFree)
+		if _, ok := e.Alloc.(*sh.Allocator); ok {
+			e.CPU.Charge(clock.CompSH, clock.CostASANFreeExtra)
+		}
+		_, err := e.Pool.Release(b)
+		return err
+	}
+	if e.AllocLocal {
+		return release()
+	}
+	return e.CallFn("alloc", "free", 1, release)
 }
 
 // Bytes returns the raw backing bytes of an arena range. Access

@@ -67,6 +67,28 @@ func TestCountKindAndString(t *testing.T) {
 	}
 }
 
+func TestDroppedAccounting(t *testing.T) {
+	r := NewRing(3)
+	// Below capacity nothing is overwritten.
+	for i := 0; i < 3; i++ {
+		if r.Dropped() != 0 {
+			t.Fatalf("dropped %d before wraparound", r.Dropped())
+		}
+		r.Emit(Event{Kind: "k"})
+	}
+	// Every further emit overwrites exactly one event, and the
+	// invariant Total = Len + Dropped holds throughout.
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Kind: "k"})
+		if r.Dropped() != uint64(i) {
+			t.Fatalf("after %d overwrites: dropped = %d", i, r.Dropped())
+		}
+		if r.Total() != uint64(r.Len())+r.Dropped() {
+			t.Fatalf("total %d != len %d + dropped %d", r.Total(), r.Len(), r.Dropped())
+		}
+	}
+}
+
 func TestDefaultCapacity(t *testing.T) {
 	r := NewRing(0)
 	if len(r.buf) != 256 {

@@ -30,7 +30,7 @@ func TestBusAsGateHook(t *testing.T) {
 	cpu := clock.New()
 	g := gate.NewVMRPC(cpu, b.Notify)
 	a, c := gate.NewDomain("a"), gate.NewDomain("b")
-	if err := g.Call(a, c, 1, func() error { return nil }); err != nil {
+	if err := g.Call(a, c, gate.CallFrame{ArgWords: 1, RetWords: 1}, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if b.Total() != 2 { // request + response notifications
