@@ -1,0 +1,196 @@
+// Command benchdiff is the CI bench-regression gate: it runs the
+// repo's headline benchmarks (design-space exploration and the
+// zero-copy data path), takes the median of -count runs per metric,
+// and fails if any metric regresses beyond its baseline tolerance.
+//
+// Usage:
+//
+//	benchdiff [-baseline BENCH_gate.json] [-input saved-bench.txt]
+//
+// Without -input it runs
+//
+//	go test -run=NONE -bench='^(BenchmarkExplore|BenchmarkFig3DataPath)$' -benchtime=1x -count=3 .
+//
+// in the current directory. With -input it checks a saved `go test
+// -bench` output instead — which is also how the gate itself is
+// tested: feeding it a synthetic 2x slowdown must make it exit 1.
+//
+// Baselines carry per-entry tolerances: simulator metrics (sim-Mbps,
+// cache-hit-%) are deterministic and get the tight default, while
+// wall-clock ns/op entries get a wide one because single-iteration
+// wall time on shared CI runners is noisy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// check is one baseline assertion on one benchmark metric.
+type check struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	// Direction is "lower" (lower is better: ns/op) or "higher"
+	// (higher is better: sim-Mbps, cache-hit-%).
+	Direction string `json:"direction"`
+	// TolerancePct overrides the file-level threshold for this check.
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+}
+
+// baseline is the committed gate file.
+type baseline struct {
+	Protocol     string             `json:"protocol"`
+	ThresholdPct float64            `json:"threshold_pct"`
+	Entries      map[string][]check `json:"entries"`
+}
+
+func main() {
+	baseFile := flag.String("baseline", "BENCH_gate.json", "baseline file")
+	input := flag.String("input", "", "check a saved go test -bench output instead of running")
+	count := flag.Int("count", 3, "bench -count when running")
+	flag.Parse()
+
+	base, err := loadBaseline(*baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	var out string
+	if *input != "" {
+		b, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		out = string(b)
+	} else {
+		out, err = runBenches(*count)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	medians := parseBenchOutput(out)
+	failures := 0
+	fmt.Printf("%-44s %-12s %12s %12s %8s %s\n",
+		"benchmark", "metric", "baseline", "median", "delta", "status")
+	names := make([]string, 0, len(base.Entries))
+	for name := range base.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, c := range base.Entries[name] {
+			med, ok := medians[name][c.Metric]
+			if !ok {
+				fmt.Printf("%-44s %-12s %12.1f %12s %8s MISSING\n",
+					name, c.Metric, c.Value, "-", "-")
+				failures++
+				continue
+			}
+			tol := c.TolerancePct
+			if tol == 0 {
+				tol = base.ThresholdPct
+			}
+			var delta float64
+			var regressed bool
+			if c.Value == 0 {
+				// A zero baseline (e.g. copy-cycles on the shared data
+				// path) must stay zero.
+				regressed = med != 0
+			} else {
+				delta = 100 * (med - c.Value) / c.Value
+				regressed = delta > tol // lower-is-better: growth is regression
+				if c.Direction == "higher" {
+					regressed = delta < -tol
+				}
+			}
+			status := "ok"
+			if regressed {
+				status = fmt.Sprintf("FAIL (>%g%%)", tol)
+				failures++
+			}
+			fmt.Printf("%-44s %-12s %12.1f %12.1f %+7.1f%% %s\n",
+				name, c.Metric, c.Value, med, delta, status)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond tolerance\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all metrics within tolerance")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if base.ThresholdPct <= 0 {
+		base.ThresholdPct = 25
+	}
+	return &base, nil
+}
+
+func runBenches(count int) (string, error) {
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench=^(BenchmarkExplore|BenchmarkFig3DataPath)$",
+		"-benchtime=1x", fmt.Sprintf("-count=%d", count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("bench run failed: %w\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// parseBenchOutput collects every sample per (benchmark, metric) from
+// standard `go test -bench` output and reduces each to its median.
+// Benchmark names are normalized by stripping the -GOMAXPROCS suffix.
+func parseBenchOutput(out string) map[string]map[string]float64 {
+	samples := map[string]map[string][]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if samples[name] == nil {
+				samples[name] = map[string][]float64{}
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	medians := map[string]map[string]float64{}
+	for name, metrics := range samples {
+		medians[name] = map[string]float64{}
+		for unit, vs := range metrics {
+			sort.Float64s(vs)
+			medians[name][unit] = vs[len(vs)/2]
+		}
+	}
+	return medians
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|all [-quick] [-ops N]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|all [-quick] [-ops N]
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	flag.Parse()
@@ -57,6 +57,12 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatDataPath(r))
+		case "blastradius":
+			r, err := harness.BlastRadius()
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatBlastRadius(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -66,7 +72,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -127,6 +127,9 @@ func replyLen(b []byte) (int, error) {
 		if sz < 0 { // null bulk
 			return pos, nil
 		}
+		if sz > maxBulk {
+			return 0, fmt.Errorf("redis: bad bulk length %d", sz)
+		}
 		if pos+int(sz)+2 > len(b) {
 			return 0, errIncomplete
 		}
@@ -135,6 +138,9 @@ func replyLen(b []byte) (int, error) {
 		n, pos, err := parseInt(b, 1)
 		if err != nil {
 			return 0, err
+		}
+		if n > maxArgs {
+			return 0, fmt.Errorf("redis: bad argument count %d", n)
 		}
 		total := pos
 		for i := int64(0); i < n; i++ {

@@ -39,6 +39,7 @@ const (
 	CompSH    Component = "sh"
 	CompVMM   Component = "vmm"
 	CompCopy  Component = "copy"
+	CompFault Component = "fault"
 )
 
 // Hz is the frequency of the simulated CPU. The paper's testbed is a

@@ -148,6 +148,25 @@ const (
 	// trust domain, excluded otherwise).
 	CostPrecondCheck = 15
 
+	// CostFaultTrap is delivering one contained protection fault to the
+	// caller's domain: decoding the fault, saving the trap record and
+	// entering the supervisor — signal-delivery-ish, far above a gate
+	// crossing but far below a VM notify pair.
+	CostFaultTrap = 900
+
+	// CostFaultSweepPage is scrubbing one 4 KiB page of a faulted
+	// compartment's heap during restart teardown (walk, unmap-style
+	// bookkeeping, free-list rebuild).
+	CostFaultSweepPage = 40
+
+	// CostFaultReclaimBuf is force-releasing one stranded pool buffer
+	// during teardown (descriptor validation plus free-list insert).
+	CostFaultReclaimBuf = 120
+
+	// CostFaultBackoff is the base penalty before a replay attempt;
+	// the supervisor doubles it per retry (bounded exponential backoff).
+	CostFaultBackoff = 2000
+
 	// CostDictOpFixed is the Redis dict lookup/insert fixed cost.
 	CostDictOpFixed = 120
 
@@ -192,6 +211,16 @@ func ASANCheckCycles(n int) uint64 {
 	}
 	granules := (n + CostASANCheckGranule - 1) / CostASANCheckGranule
 	return uint64(granules * CostASANCheck)
+}
+
+// FaultSweepCycles returns the teardown cost of sweeping n bytes of a
+// faulted compartment's heap (charged per 4 KiB page).
+func FaultSweepCycles(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	pages := (n + 4095) / 4096
+	return pages * CostFaultSweepPage
 }
 
 // RESPParseCycles returns the parse cost for n protocol bytes.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"flexos/internal/core/gate"
+	"flexos/internal/fault"
 	"flexos/internal/mem"
 	"flexos/internal/mpk"
 	"flexos/internal/net"
@@ -139,6 +140,10 @@ type Config struct {
 	// Net tunes the network stack (recv buffer, socket mode, delayed
 	// acks, ...). IP, Platform and RestHard are set by the builder.
 	Net net.Config
+	// OnFault maps compartment name -> fault policy (configfile
+	// directive "onfault"). Compartments absent from the map abort:
+	// a trap propagates to the caller as a typed error.
+	OnFault map[string]fault.Policy
 }
 
 // DefaultLibraries is the library set of the canonical six-library
@@ -248,6 +253,16 @@ func normalize(cfg *Config) ([]Compartment, error) {
 	for _, l := range DefaultLibraries {
 		if _, ok := seen[l]; !ok {
 			return nil, fmt.Errorf("build: library %q assigned to no compartment", l)
+		}
+	}
+	for comp, p := range cfg.OnFault {
+		if !names[comp] {
+			return nil, fmt.Errorf("build: onfault policy for unknown compartment %q", comp)
+		}
+		switch p {
+		case fault.PolicyAbort, fault.PolicyRestart, fault.PolicyDegrade:
+		default:
+			return nil, fmt.Errorf("build: unknown fault policy %v for compartment %q", p, comp)
 		}
 	}
 	// MPK shares the hardware's 16 protection keys; one is the shared

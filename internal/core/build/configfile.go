@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"flexos/internal/core/gate"
+	"flexos/internal/fault"
 	"flexos/internal/mpk"
 	"flexos/internal/net"
 	"flexos/internal/sh"
@@ -28,6 +29,7 @@ import (
 //	recv-buf <bytes>
 //	sh <library> <none|full|asan[,cfi][,ssp][,ubsan]>
 //	compartment <name> <library> [library...]
+//	onfault <compartment> <abort|restart|degrade>
 
 // ParseConfig parses configuration-file source into a Config.
 func ParseConfig(src string) (Config, error) {
@@ -184,6 +186,22 @@ func applyDirective(cfg *Config, fields []string) error {
 			Name:      args[0],
 			Libraries: append([]string(nil), args[1:]...),
 		})
+	case "onfault":
+		if err := need(2); err != nil {
+			return err
+		}
+		p, err := fault.ParsePolicy(args[1])
+		if err != nil {
+			return err
+		}
+		if cfg.OnFault == nil {
+			cfg.OnFault = make(map[string]fault.Policy)
+		}
+		if p == fault.PolicyAbort {
+			delete(cfg.OnFault, args[0]) // abort is the default
+		} else {
+			cfg.OnFault[args[0]] = p
+		}
 	default:
 		return fmt.Errorf("unknown directive %q", dir)
 	}
@@ -259,6 +277,16 @@ func FormatConfig(cfg Config) string {
 	}
 	for _, c := range comps {
 		fmt.Fprintf(&b, "compartment %s %s\n", c.Name, strings.Join(c.Libraries, " "))
+	}
+	faulted := make([]string, 0, len(cfg.OnFault))
+	for comp, p := range cfg.OnFault {
+		if p != fault.PolicyAbort {
+			faulted = append(faulted, comp)
+		}
+	}
+	sort.Strings(faulted)
+	for _, comp := range faulted {
+		fmt.Fprintf(&b, "onfault %s %s\n", comp, cfg.OnFault[comp])
 	}
 	return b.String()
 }

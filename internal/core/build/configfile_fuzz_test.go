@@ -1,0 +1,34 @@
+package build
+
+import "testing"
+
+// FuzzParseConfig checks the configuration-file surface on arbitrary
+// input: parsing never panics, and every accepted config reaches the
+// FormatConfig fixpoint — format(parse(format(parse(src)))) is
+// byte-identical to format(parse(src)), which is the documented
+// round-trip guarantee.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("backend mpk-shared\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n")
+	f.Add("name img\nbackend vm-rpc\nalloc per-compartment\nsched verified\nseal runtime\n" +
+		"platform xen\ndatapath copy\nsocket-mode tcpip-thread\ndelayed-ack on\nrecv-buf 16384\n" +
+		"sh libc asan,cfi\ncompartment lc libc\ncompartment core sched alloc netstack app rest\n" +
+		"onfault lc restart\n")
+	f.Add("backend cheri\nonfault all degrade\n# comment\n\n")
+	f.Add("backend funccall\nsh app full\nsh app none\n")
+	f.Add("onfault nowhere abort\nbackend mpk-switched\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := ParseConfig(src)
+		if err != nil {
+			return
+		}
+		once := FormatConfig(cfg)
+		cfg2, err := ParseConfig(once)
+		if err != nil {
+			t.Fatalf("formatted config failed to reparse: %v\n%s", err, once)
+		}
+		twice := FormatConfig(cfg2)
+		if once != twice {
+			t.Fatalf("format not a fixpoint:\n--- first ---\n%s--- second ---\n%s", once, twice)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/fault"
+)
+
+func TestOnFaultDirectiveRoundTrip(t *testing.T) {
+	src := "backend mpk-switched\n" +
+		"compartment nw netstack\n" +
+		"compartment lc libc\n" +
+		"compartment core sched alloc app rest\n" +
+		"onfault nw restart\n" +
+		"onfault lc degrade\n"
+	cfg, err := ParseConfig(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OnFault["nw"] != fault.PolicyRestart || cfg.OnFault["lc"] != fault.PolicyDegrade {
+		t.Fatalf("OnFault = %v", cfg.OnFault)
+	}
+	out := FormatConfig(cfg)
+	// Deterministic output: policies are emitted sorted by compartment.
+	lcIdx := strings.Index(out, "onfault lc degrade\n")
+	nwIdx := strings.Index(out, "onfault nw restart\n")
+	if lcIdx < 0 || nwIdx < 0 || lcIdx > nwIdx {
+		t.Fatalf("onfault lines missing or unsorted:\n%s", out)
+	}
+	cfg2, err := ParseConfig(out)
+	if err != nil {
+		t.Fatalf("formatted config failed to reparse: %v\n%s", err, out)
+	}
+	if len(cfg2.OnFault) != 2 ||
+		cfg2.OnFault["nw"] != fault.PolicyRestart || cfg2.OnFault["lc"] != fault.PolicyDegrade {
+		t.Fatalf("round-trip OnFault = %v", cfg2.OnFault)
+	}
+}
+
+func TestOnFaultAbortIsDefaultAndElided(t *testing.T) {
+	src := "backend mpk-shared\n" +
+		"compartment nw netstack\n" +
+		"compartment core sched alloc libc app rest\n" +
+		"onfault nw restart\n" +
+		"onfault nw abort\n" // back to the default: entry dropped
+	cfg, err := ParseConfig(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.OnFault) != 0 {
+		t.Fatalf("OnFault = %v, want empty (abort is the default)", cfg.OnFault)
+	}
+	if strings.Contains(FormatConfig(cfg), "onfault") {
+		t.Fatalf("abort policy emitted:\n%s", FormatConfig(cfg))
+	}
+}
+
+func TestOnFaultValidation(t *testing.T) {
+	base := "backend mpk-shared\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n"
+	if _, err := ParseConfig(base + "onfault ghost restart\n"); err == nil {
+		t.Fatal("onfault for unknown compartment accepted")
+	}
+	if _, err := ParseConfig(base + "onfault nw explode\n"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := ParseConfig(base + "onfault nw\n"); err == nil {
+		t.Fatal("missing policy argument accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"flexos/internal/clock"
 	"flexos/internal/core/gate"
 	"flexos/internal/core/spec"
+	"flexos/internal/fault"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
 	"flexos/internal/mpk"
@@ -54,6 +55,9 @@ type Machine struct {
 	// Wrappers are the generated precondition-check call gates (§5's
 	// static-analysis flow; a build artifact, not a runtime object).
 	Wrappers []Wrapper
+	// Sup applies per-compartment fault policy (Config.OnFault) to
+	// every supervised gate call on this machine.
+	Sup *rt.Supervisor
 
 	envs  map[string]*rt.Env
 	comps []Compartment
@@ -146,6 +150,11 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	base += sharedHeapSize
 	m.Pool = mem.NewSharedPool(shared)
 
+	m.Sup = rt.NewSupervisor(m.CPU, m.Pool)
+	for comp, p := range cfg.OnFault {
+		m.Sup.SetPolicy(comp, p)
+	}
+
 	// compKey gives compartment i protection key i+1 (key 0 is the
 	// shared window). normalize already bounded the count for MPK.
 	compOf := make(map[string]int, len(DefaultLibraries)) // lib -> compartment index
@@ -201,6 +210,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			if err != nil {
 				return nil, err
 			}
+			m.Sup.RegisterHeap(c.Name, h)
 			a := instrument(h, c.Libraries...)
 			for _, l := range c.Libraries {
 				allocOf[l] = a
@@ -212,6 +222,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			if err != nil {
 				return nil, err
 			}
+			m.Sup.RegisterHeap(comps[compOf[l]].Name, h)
 			allocOf[l] = instrument(h, l)
 		}
 	}
@@ -296,6 +307,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			AllocLocal: cfg.Alloc != AllocGlobal || l == "alloc",
 			Pool:       m.Pool,
 			Hard:       hard,
+			Sup:        m.Sup,
 		}
 	}
 
@@ -359,5 +371,22 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 			Note:   fmt.Sprintf("%d bytes", n),
 		})
 	})
+	m.Sup.SetTracer(func(kind, comp, note string) {
+		ring.Emit(trace.Event{
+			Cycles: m.CPU.Cycles(),
+			Kind:   kind,
+			From:   comp,
+			Note:   note,
+		})
+	})
 	return ring
+}
+
+// InjectFaults arms a deterministic fault injector on this machine's
+// gate registry: the injector fires at configured gate-call counts,
+// simulating protection faults inside the callee compartment. The
+// machine's shared pool backs the injector's leaked-buffer simulation.
+func (m *Machine) InjectFaults(in *fault.Injector) {
+	in.SetPool(m.Pool)
+	m.Registry.SetInjector(in)
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"flexos/internal/clock"
+	"flexos/internal/fault"
 	"flexos/internal/mem"
 	"flexos/internal/mpk"
 )
@@ -202,6 +203,9 @@ func (g *funcGate) Crossings() uint64 {
 func (g *funcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
 	g.cpu.Charge(clock.CompGate, clock.CostCall)
+	// Deliberately no trap boundary: a direct call offers no
+	// protection-domain switch, so a fault raised in the callee unwinds
+	// the whole image — the blast-radius contrast with isolating gates.
 	return fn()
 }
 
@@ -263,10 +267,18 @@ func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 		g.cpu.Charge(clock.CompGate,
 			clock.CostStackSwitch+uint64(words)*clock.CostParamCopyPerWord)
 	}
+	pc := from.Name + "->" + to.Name
 	if err := g.unit.WritePKRU(to.PKRU); err != nil {
-		return fmt.Errorf("gate %s->%s: %w", from.Name, to.Name, err)
+		// A sealed-WRPKRU rejection is a protection fault in its own
+		// right: attempted entry with an unregistered register value.
+		return &fault.Trap{Comp: to.Name, Kind: fault.KindSealedPKRU, PC: pc,
+			Cause: fmt.Errorf("gate %s->%s: %w", from.Name, to.Name, err)}
 	}
-	callErr := fn()
+	// The callee runs inside a trap boundary: protection faults raised
+	// in its domain (pkey faults, ASAN violations, injected corruption)
+	// come back as typed fault.Trap errors, and the return path below
+	// still restores the caller's PKRU.
+	callErr := fault.Contain(to.Name, pc, fn)
 	// Return path: restore caller domain (and stack), copying the
 	// declared return words back.
 	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
@@ -275,7 +287,8 @@ func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 			clock.CostStackSwitch+uint64(frame.RetWords)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(from.PKRU); err != nil {
-		return fmt.Errorf("gate %s<-%s return: %w", from.Name, to.Name, err)
+		return &fault.Trap{Comp: to.Name, Kind: fault.KindSealedPKRU, PC: pc,
+			Cause: fmt.Errorf("gate %s<-%s return: %w", from.Name, to.Name, err)}
 	}
 	return callErr
 }
@@ -312,7 +325,10 @@ func (g *rpcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 	if g.notify != nil {
 		g.notify(from, to)
 	}
-	callErr := fn()
+	// The callee VM's work runs inside a trap boundary: a protection
+	// fault in the callee costs that VM, not the caller — the caller
+	// sees a typed error on its response ring.
+	callErr := fault.Contain(to.Name, from.Name+"->"+to.Name, fn)
 	// Response: notification back to the caller VM, return words
 	// marshalled through the ring.
 	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+

@@ -3,6 +3,8 @@ package gate
 import (
 	"fmt"
 	"sort"
+
+	"flexos/internal/fault"
 )
 
 // Registry is the runtime artifact the builder produces from a
@@ -19,6 +21,7 @@ type Registry struct {
 	pairCount map[[2]string]uint64
 	tracer    func(fromComp, toComp string)
 	observer  func(fromLib, toLib, fn string)
+	injector  *fault.Injector
 }
 
 // SetTracer installs a callback invoked on every inter-compartment
@@ -29,6 +32,13 @@ func (r *Registry) SetTracer(fn func(fromComp, toComp string)) { r.tracer = fn }
 // call, including intra-compartment ones — the dynamic-analysis tap
 // the metadata generator records from (nil disables).
 func (r *Registry) SetObserver(fn func(fromLib, toLib, fn string)) { r.observer = fn }
+
+// SetInjector installs a deterministic fault injector fired at every
+// call entry, direct or crossing (nil disables). An injected trap on a
+// crossing is contained by the isolating gate; on a direct call it
+// unwinds the image — which is the point of the blast-radius
+// comparison.
+func (r *Registry) SetInjector(in *fault.Injector) { r.injector = in }
 
 // NewRegistry creates a registry using direct for intra-compartment
 // calls and cross for inter-compartment calls.
@@ -123,14 +133,24 @@ func (r *Registry) CallWithFrame(fromLib, toLib, fnName string, frame CallFrame,
 	if r.observer != nil && fnName != "" {
 		r.observer(fromLib, toLib, fnName)
 	}
+	inner := fn
+	if r.injector != nil {
+		// The injection point sits on the callee side of the gate:
+		// armed faults fire at call entry, before the callee mutates
+		// state, inside whatever trap boundary the gate provides.
+		inner = func() error {
+			r.injector.OnCall(toLib, ct, fnName)
+			return fn()
+		}
+	}
 	if cf == ct {
-		return r.direct.Call(r.domains[cf], r.domains[ct], frame, fn)
+		return r.direct.Call(r.domains[cf], r.domains[ct], frame, inner)
 	}
 	r.pairCount[[2]string{cf, ct}]++
 	if r.tracer != nil {
 		r.tracer(cf, ct)
 	}
-	return r.cross.Call(r.domains[cf], r.domains[ct], frame, fn)
+	return r.cross.Call(r.domains[cf], r.domains[ct], frame, inner)
 }
 
 // Crossings reports the number of inter-compartment crossings between

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"fmt"
+
+	"flexos/internal/mem"
+)
+
+// Injection arms one deterministic fault: on the After-th named call
+// into library Lib (optionally restricted to function Fn), the injector
+// panics with a Trap — simulating corruption detected at the crossing
+// into that library's compartment. The panic is raised *before* the
+// callee runs, so a compartment restarted by the supervisor replays the
+// call against coherent state.
+type Injection struct {
+	// Lib is the callee library the fault fires in.
+	Lib string
+	// Fn, when non-empty, restricts the trigger to calls of that name.
+	Fn string
+	// After is the 1-based index of the matching call that fires.
+	After uint64
+	// Kind of the injected trap (default KindInjected).
+	Kind Kind
+	// Addr is the simulated faulting address (optional).
+	Addr mem.Addr
+	// LeakBufs, when positive, allocates that many shared-pool buffers
+	// in the faulted compartment's name before trapping — the in-flight
+	// allocations a crashed compartment strands, which the supervisor's
+	// teardown must reclaim for the pool's leak accounting to read zero.
+	LeakBufs int
+}
+
+// Injector fires armed Injections from the gate registry's call choke
+// point. It is deterministic: triggers count named call entries, never
+// time or randomness.
+type Injector struct {
+	pool       *mem.SharedPool
+	armed      []Injection
+	counts     map[string]uint64 // "lib" or "lib:fn" -> entries seen
+	fired      uint64
+	lastTrap   *Trap
+	leakedRefs []mem.BufRef
+}
+
+// NewInjector returns an empty injector; Arm it and install it on a
+// machine's registry.
+func NewInjector() *Injector {
+	return &Injector{counts: make(map[string]uint64)}
+}
+
+// SetPool provides the shared pool LeakBufs allocations come from.
+func (in *Injector) SetPool(p *mem.SharedPool) { in.pool = p }
+
+// Arm schedules an injection. After defaults to 1.
+func (in *Injector) Arm(inj Injection) {
+	if inj.After == 0 {
+		inj.After = 1
+	}
+	in.armed = append(in.armed, inj)
+}
+
+// Fired reports how many injections have gone off.
+func (in *Injector) Fired() uint64 { return in.fired }
+
+// LastTrap returns the most recently injected trap (nil before the
+// first firing).
+func (in *Injector) LastTrap() *Trap { return in.lastTrap }
+
+// Leaked returns the buffers deliberately stranded by LeakBufs
+// injections, for tests that verify the supervisor reclaimed them.
+func (in *Injector) Leaked() []mem.BufRef { return in.leakedRefs }
+
+// OnCall is the registry hook: it observes one named call entering
+// toLib (which lives in compartment toComp) and panics with a *Trap if
+// an armed injection matches. Isolating gates contain the panic;
+// direct calls let it kill the image.
+func (in *Injector) OnCall(toLib, toComp, fnName string) {
+	key := toLib
+	if fnName != "" {
+		in.counts[toLib+":"+fnName]++
+	}
+	in.counts[key]++
+	for i := range in.armed {
+		inj := &in.armed[i]
+		if inj.After == 0 {
+			continue // already fired
+		}
+		if inj.Lib != toLib || (inj.Fn != "" && inj.Fn != fnName) {
+			continue
+		}
+		k := inj.Lib
+		if inj.Fn != "" {
+			k = inj.Lib + ":" + inj.Fn
+		}
+		if in.counts[k] != inj.After {
+			continue
+		}
+		inj.After = 0 // one-shot
+		in.fire(inj, toComp, fnName)
+	}
+}
+
+func (in *Injector) fire(inj *Injection, toComp, fnName string) {
+	if inj.LeakBufs > 0 && in.pool != nil {
+		for i := 0; i < inj.LeakBufs; i++ {
+			if b, err := in.pool.Get(256); err == nil {
+				in.leakedRefs = append(in.leakedRefs, b)
+			}
+		}
+	}
+	pc := inj.Lib
+	if fnName != "" {
+		pc = fmt.Sprintf("%s:%s", inj.Lib, fnName)
+	}
+	t := &Trap{Comp: toComp, Kind: inj.Kind, PC: pc, Addr: inj.Addr}
+	in.fired++
+	in.lastTrap = t
+	panic(t)
+}

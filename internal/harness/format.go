@@ -120,6 +120,24 @@ func FormatCtxSwitch(r *CtxSwitchResult) string {
 		r.CNanos, r.PaperCNanos, r.VerifiedNanos, r.PaperVNanos, r.VerifiedNanos/r.CNanos)
 }
 
+// FormatBlastRadius renders the fault-containment matrix.
+func FormatBlastRadius(r *BlastRadiusResult) string {
+	var b strings.Builder
+	b.WriteString("Blast radius: injected compartment fault, per isolation backend\n")
+	fmt.Fprintf(&b, "%-12s %-13s %-8s %-10s %6s %8s %12s %6s\n",
+		"workload", "image", "policy", "outcome", "traps", "retries", "recovery", "leaks")
+	for _, row := range r.Rows {
+		recovery := "-"
+		if row.RecoveryNS > 0 {
+			recovery = fmt.Sprintf("%.0f ns", row.RecoveryNS)
+		}
+		fmt.Fprintf(&b, "%-12s %-13s %-8s %-10s %6d %8d %12s %6d\n",
+			row.Workload, row.Image, row.Policy, row.Outcome,
+			row.Traps, row.Retries, recovery, row.LeakedBufs)
+	}
+	return b.String()
+}
+
 // FormatDataPath renders the copy-vs-shared data-path comparison.
 func FormatDataPath(r *DataPathResult) string {
 	var b strings.Builder

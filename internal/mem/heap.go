@@ -138,6 +138,17 @@ func (h *Heap) insertFree(s span) {
 	}
 }
 
+// Reset drops every live allocation and restores the heap to its
+// pristine single-span state, clearing fragmentation. The supervisor
+// resets a faulted compartment's drained heap during fault recovery;
+// outstanding addresses become invalid, exactly as after a compartment
+// restart.
+func (h *Heap) Reset() {
+	h.allocs = make(map[Addr]uint64)
+	h.stats.LiveBytes = 0
+	h.free = []span{{start: h.base, size: uint64(h.limit - h.base)}}
+}
+
 // FreeBytes reports the total bytes in free spans.
 func (h *Heap) FreeBytes() uint64 {
 	var n uint64

@@ -27,9 +27,11 @@ func (b BufRef) Valid() bool {
 const BufRefWords = 2
 
 // PoolStats counts pool traffic since construction. Recycles counts Gets
-// served from a free list instead of the underlying allocator.
+// served from a free list instead of the underlying allocator; Reclaims
+// counts buffers force-released by ReleaseSince (fault-recovery
+// teardown, not normal lifecycle).
 type PoolStats struct {
-	Gets, Refs, Releases, Recycles, FailedGets uint64
+	Gets, Refs, Releases, Recycles, FailedGets, Reclaims uint64
 }
 
 // poolClasses are the slab size classes, chosen to cover the simulator's
@@ -41,6 +43,7 @@ var poolClasses = []int{256, 2 << 10, 16 << 10, 64 << 10}
 type poolSlab struct {
 	cap  int
 	refs int
+	seq  uint64 // allocation sequence number, for PoolMark windows
 }
 
 // SharedPool is a slab-style, ref-counted buffer pool over an allocator for
@@ -55,6 +58,7 @@ type SharedPool struct {
 	alloc  Allocator
 	free   map[int][]Addr
 	live   map[Addr]*poolSlab
+	seq    uint64 // next allocation sequence number
 	stats  PoolStats
 	tracer func(kind string, addr Addr, n int)
 }
@@ -108,7 +112,8 @@ func (p *SharedPool) Get(n int) (BufRef, error) {
 			return BufRef{}, err
 		}
 	}
-	p.live[addr] = &poolSlab{cap: size, refs: 1}
+	p.live[addr] = &poolSlab{cap: size, refs: 1, seq: p.seq}
+	p.seq++
 	p.stats.Gets++
 	p.emit("buf-alloc", addr, size)
 	return BufRef{Addr: addr, Len: n, Cap: size}, nil
@@ -148,6 +153,48 @@ func (p *SharedPool) Release(b BufRef) (recycled bool, err error) {
 		return true, err
 	}
 	return true, nil
+}
+
+// PoolMark is a point in the pool's allocation sequence (see Mark).
+type PoolMark uint64
+
+// Mark snapshots the allocation sequence. Buffers allocated after a
+// mark can be force-released with ReleaseSince — the supervisor's
+// fault-recovery teardown takes a mark before every supervised gate
+// call so that a trapped call's in-flight allocations can be reclaimed
+// without touching buffers that predate the call.
+func (p *SharedPool) Mark() PoolMark { return PoolMark(p.seq) }
+
+// ReleaseSince force-releases every live buffer allocated at or after
+// mark, regardless of its reference count, returning the buffer and
+// reference counts reclaimed. The slabs recycle onto their class free
+// lists, so Outstanding/OutstandingRefs drop accordingly — the leak
+// accounting a recovered run must still pass.
+func (p *SharedPool) ReleaseSince(mark PoolMark) (bufs, refs int) {
+	var addrs []Addr
+	for addr, s := range p.live {
+		if s.seq >= uint64(mark) {
+			addrs = append(addrs, addr)
+		}
+	}
+	// Deterministic teardown order, independent of map iteration.
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		s := p.live[addr]
+		bufs++
+		refs += s.refs
+		p.stats.Reclaims++
+		p.emit("buf-release", addr, s.cap)
+		delete(p.live, addr)
+		if p.classFor(s.cap) == s.cap && containsInt(poolClasses, s.cap) {
+			p.free[s.cap] = append(p.free[s.cap], addr)
+		} else {
+			// Oversize carve: hand it back to the allocator; an error
+			// here would mean the pool's own bookkeeping is corrupt.
+			_ = p.alloc.Free(addr)
+		}
+	}
+	return bufs, refs
 }
 
 // Owns reports whether addr names a live pool buffer.

@@ -1,0 +1,79 @@
+package mpk
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/mem"
+)
+
+// TestPKRUBitPatterns pins the exact register encoding: bit 2k is
+// access-disable, bit 2k+1 is write-disable, matching the hardware
+// layout the simulated WRPKRU loads.
+func TestPKRUBitPatterns(t *testing.T) {
+	tests := []struct {
+		name string
+		got  PKRU
+		want PKRU
+	}{
+		{"permit-all", PermitAll, 0},
+		{"deny-key1", PermitAll.Deny(1), 0b1100},
+		{"deny-key3", PermitAll.Deny(3), 0b11000000},
+		{"read-only-key1", PermitAll.Deny(1).AllowRead(1), 0b1000},
+		{"allow-clears-both", PKRU(0b1100).Allow(1), 0},
+		{"allow-read-sets-wd", DenyAll().AllowRead(2), DenyAll() &^ (0b01 << 4)},
+		{"deny-idempotent", PermitAll.Deny(2).Deny(2), 0b110000},
+		{"allow-idempotent", DenyAll().Allow(5).Allow(5), DenyAll() &^ (0b11 << 10)},
+		{"domain-2-4", DomainPKRU(2, 4), DenyAll() &^ (0b11 << 4) &^ (0b11 << 8)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Fatalf("pkru = %#b, want %#b", uint32(tc.got), uint32(tc.want))
+			}
+		})
+	}
+}
+
+// TestPKRUAccessTable drives CanRead/CanWrite through every AD/WD bit
+// combination for one key.
+func TestPKRUAccessTable(t *testing.T) {
+	const k = mem.Key(3)
+	tests := []struct {
+		name     string
+		p        PKRU
+		read, wr bool
+	}{
+		{"clear", PermitAll, true, true},
+		{"wd-only", PKRU(0b10 << (2 * k)), true, false},
+		{"ad-only", PKRU(0b01 << (2 * k)), false, false},
+		{"ad-wd", PKRU(0b11 << (2 * k)), false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.p.CanRead(k) != tc.read || tc.p.CanWrite(k) != tc.wr {
+				t.Fatalf("CanRead=%v CanWrite=%v, want %v/%v",
+					tc.p.CanRead(k), tc.p.CanWrite(k), tc.read, tc.wr)
+			}
+		})
+	}
+}
+
+func TestPKRUString(t *testing.T) {
+	tests := []struct {
+		p    PKRU
+		want []string
+	}{
+		{DenyAll(), []string{"0:rw"}},
+		{DomainPKRU(2), []string{"0:rw", "2:rw"}},
+		{DenyAll().AllowRead(4), []string{"0:rw", "4:ro"}},
+	}
+	for _, tc := range tests {
+		s := tc.p.String()
+		for _, w := range tc.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%v.String() = %q, missing %q", uint32(tc.p), s, w)
+			}
+		}
+	}
+}

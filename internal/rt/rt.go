@@ -47,6 +47,10 @@ type Env struct {
 	Pool *mem.SharedPool
 	// Hard is the library's hardening surface (nil-safe).
 	Hard *sh.Hardener
+	// Sup, when non-nil, applies per-compartment fault policy to every
+	// routed call: traps raised by the callee compartment are handled
+	// (abort/restart/degrade) before the error reaches this library.
+	Sup *Supervisor
 }
 
 // Charge attributes cycles to this library.
@@ -55,19 +59,32 @@ func (e *Env) Charge(cycles uint64) { e.CPU.Charge(e.Comp, cycles) }
 // Call routes a call from this library to a function in lib `to`,
 // through the gate the builder instantiated for the pair.
 func (e *Env) Call(to string, argWords int, fn func() error) error {
-	return e.Gates.Call(e.Lib, to, argWords, fn)
+	return e.route(to, "", gate.CallFrame{ArgWords: argWords, RetWords: 1}, fn)
 }
 
 // CallFn is Call with the callee function named, so that dynamic
 // metadata generation can record the call edge.
 func (e *Env) CallFn(to, fnName string, argWords int, fn func() error) error {
-	return e.Gates.CallNamed(e.Lib, to, fnName, argWords, fn)
+	return e.route(to, fnName, gate.CallFrame{ArgWords: argWords, RetWords: 1}, fn)
 }
 
 // CallFrame routes a call carrying a full gate frame — argument and
 // return word counts plus payload buffers attached by descriptor.
 func (e *Env) CallFrame(to, fnName string, frame gate.CallFrame, fn func() error) error {
-	return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
+	return e.route(to, fnName, frame, fn)
+}
+
+// route dispatches through the gate registry, under the machine's
+// fault supervisor when one is attached: the supervisor applies the
+// callee compartment's policy to any trap the call raises.
+func (e *Env) route(to, fnName string, frame gate.CallFrame, fn func() error) error {
+	if e.Sup == nil {
+		return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
+	}
+	toComp, _ := e.Gates.CompartmentOf(to)
+	return e.Sup.Supervise(toComp, func() error {
+		return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
+	})
 }
 
 // SharesBufs reports whether buffers attached to a call from this

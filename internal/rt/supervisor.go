@@ -1,0 +1,177 @@
+package rt
+
+import (
+	"fmt"
+
+	"flexos/internal/clock"
+	"flexos/internal/fault"
+	"flexos/internal/mem"
+)
+
+// maxRestartAttempts bounds the supervisor's replay loop: a compartment
+// that keeps trapping after this many restarts is aborted.
+const maxRestartAttempts = 3
+
+// SupervisorStats counts fault-containment activity on one machine.
+type SupervisorStats struct {
+	// Traps is how many typed traps reached the supervisor.
+	Traps uint64
+	// Recoveries is how many trapped calls completed after a restart.
+	Recoveries uint64
+	// Retries is how many replay attempts were made in total.
+	Retries uint64
+	// Aborts is how many traps were propagated to the caller.
+	Aborts uint64
+	// Degrades is how many compartments were taken out of service.
+	Degrades uint64
+	// ReclaimedBufs / ReclaimedRefs count pool buffers and references
+	// force-released by restart teardown.
+	ReclaimedBufs uint64
+	ReclaimedRefs uint64
+	// RecoveryCycles is the virtual time spent in teardown and backoff.
+	RecoveryCycles uint64
+}
+
+// Supervisor drives per-compartment fault policy on one machine. Every
+// Env routes its gate calls through Supervise; when a call comes back
+// with a fault.Trap raised by the callee compartment, the supervisor
+// applies the compartment's configured policy: propagate (abort), tear
+// down and replay (restart), or fail the compartment fast from then on
+// (degrade). Teardown reuses the shared pool's leak accounting — the
+// trapped call's in-flight buffers are force-released against a
+// pre-call mark — and resets the compartment's drained private heaps.
+type Supervisor struct {
+	cpu      *clock.CPU
+	pool     *mem.SharedPool
+	policies map[string]fault.Policy
+	heaps    map[string][]*mem.Heap
+	degraded map[string]*fault.Trap
+	stats    SupervisorStats
+	tracer   func(kind, comp, note string)
+}
+
+// NewSupervisor creates a supervisor charging recovery work to cpu.
+// pool may be nil (poolless images skip buffer teardown).
+func NewSupervisor(cpu *clock.CPU, pool *mem.SharedPool) *Supervisor {
+	return &Supervisor{
+		cpu:      cpu,
+		pool:     pool,
+		policies: make(map[string]fault.Policy),
+		heaps:    make(map[string][]*mem.Heap),
+		degraded: make(map[string]*fault.Trap),
+	}
+}
+
+// SetPolicy configures a compartment's reaction to its own traps.
+func (s *Supervisor) SetPolicy(comp string, p fault.Policy) { s.policies[comp] = p }
+
+// Policy reports a compartment's policy (PolicyAbort by default).
+func (s *Supervisor) Policy(comp string) fault.Policy { return s.policies[comp] }
+
+// RegisterHeap records a private heap owned exclusively by comp, a
+// restart-teardown target.
+func (s *Supervisor) RegisterHeap(comp string, h *mem.Heap) {
+	s.heaps[comp] = append(s.heaps[comp], h)
+}
+
+// SetTracer installs a callback for fault lifecycle events; kinds are
+// "fault", "recover" and "degrade" (nil disables).
+func (s *Supervisor) SetTracer(fn func(kind, comp, note string)) { s.tracer = fn }
+
+// Degraded reports whether comp was taken out of service, and the trap
+// that did it.
+func (s *Supervisor) Degraded(comp string) (*fault.Trap, bool) {
+	t, ok := s.degraded[comp]
+	return t, ok
+}
+
+// Stats returns a copy of the containment counters.
+func (s *Supervisor) Stats() SupervisorStats { return s.stats }
+
+func (s *Supervisor) trace(kind, comp, note string) {
+	if s.tracer != nil {
+		s.tracer(kind, comp, note)
+	}
+}
+
+func (s *Supervisor) mark() mem.PoolMark {
+	if s.pool == nil {
+		return 0
+	}
+	return s.pool.Mark()
+}
+
+// Supervise runs one gate call into compartment toComp and applies
+// toComp's fault policy to any trap the callee raised. Traps from
+// deeper compartments (already handled by a nested Supervise closer to
+// the fault) pass through untouched.
+func (s *Supervisor) Supervise(toComp string, call func() error) error {
+	if t, down := s.degraded[toComp]; down {
+		return &fault.DegradedError{Comp: toComp, Cause: t}
+	}
+	mark := s.mark()
+	err := call()
+	t, ok := fault.As(err)
+	if !ok || t.Comp != toComp {
+		return err
+	}
+	s.stats.Traps++
+	s.cpu.Charge(clock.CompFault, clock.CostFaultTrap)
+	s.trace("fault", toComp, t.Error())
+	switch s.Policy(toComp) {
+	case fault.PolicyRestart:
+		for attempt := 1; attempt <= maxRestartAttempts; attempt++ {
+			start := s.cpu.Cycles()
+			s.teardown(toComp, mark)
+			// Bounded exponential backoff before the replay.
+			s.cpu.Charge(clock.CompFault, clock.CostFaultBackoff<<(attempt-1))
+			s.stats.RecoveryCycles += s.cpu.Cycles() - start
+			s.stats.Retries++
+			s.trace("recover", toComp, fmt.Sprintf("restart attempt %d after %v", attempt, t.Kind))
+			mark = s.mark()
+			err = call()
+			if t2, again := fault.As(err); again && t2.Comp == toComp {
+				s.stats.Traps++
+				s.cpu.Charge(clock.CompFault, clock.CostFaultTrap)
+				s.trace("fault", toComp, t2.Error())
+				t = t2
+				continue
+			}
+			s.stats.Recoveries++
+			return err
+		}
+		s.stats.Aborts++
+		return t
+	case fault.PolicyDegrade:
+		s.teardown(toComp, mark)
+		s.degraded[toComp] = t
+		s.stats.Degrades++
+		s.trace("degrade", toComp, t.Kind.String())
+		return &fault.DegradedError{Comp: toComp, Cause: t}
+	default: // PolicyAbort
+		s.stats.Aborts++
+		return t
+	}
+}
+
+// teardown reclaims what the faulted call left behind in comp: pool
+// buffers allocated during the call window are force-released (their
+// owner is gone; the leak accounting must still read zero), and any
+// fully-drained private heap of the compartment is reset to pristine.
+// Heaps with live allocations that predate the fault are left intact —
+// they back protocol state the surviving callers still reference.
+func (s *Supervisor) teardown(comp string, mark mem.PoolMark) {
+	if s.pool != nil {
+		bufs, refs := s.pool.ReleaseSince(mark)
+		s.stats.ReclaimedBufs += uint64(bufs)
+		s.stats.ReclaimedRefs += uint64(refs)
+		s.cpu.Charge(clock.CompFault, uint64(bufs)*clock.CostFaultReclaimBuf)
+	}
+	for _, h := range s.heaps[comp] {
+		// The sweep walks the compartment's whole heap region.
+		s.cpu.Charge(clock.CompFault, clock.FaultSweepCycles(h.Size()))
+		if h.Stats().LiveBytes == 0 {
+			h.Reset()
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"fmt"
+
+	"flexos/internal/fault"
+)
+
+// ThreadCrash reports that a thread body (or a timer callback) died on
+// an uncontained panic. On a compartmentalized image protection faults
+// are converted to fault.Trap errors at the gate and never reach the
+// scheduler; a ThreadCrash surfacing from Run therefore means the image
+// had no isolation boundary between the fault and the thread — the
+// blast radius of the uncompartmentalized baseline.
+type ThreadCrash struct {
+	Thread string
+	Cause  error
+}
+
+// Error implements error.
+func (c *ThreadCrash) Error() string {
+	return fmt.Sprintf("sched: thread %s crashed: %v", c.Thread, c.Cause)
+}
+
+// Unwrap exposes the panic cause to errors.Is/As.
+func (c *ThreadCrash) Unwrap() error { return c.Cause }
+
+// causeFromPanic types a recovered panic value. Protection-fault traps
+// pass through as themselves; contract violations become KindSched
+// traps (scheduler state was corrupted — the verified scheduler's
+// executable contracts caught a stray write); anything else is kept as
+// a plain error.
+func causeFromPanic(r any) error {
+	switch v := r.(type) {
+	case *fault.Trap:
+		return v
+	case *ContractError:
+		return &fault.Trap{Comp: "sched", Kind: fault.KindSched, PC: v.Op, Cause: v}
+	case error:
+		return v
+	default:
+		return fmt.Errorf("panic: %v", r)
+	}
+}

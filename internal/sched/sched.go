@@ -176,11 +176,7 @@ func (s *coop) spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
 		<-t.resume
 		defer func() {
 			if r := recover(); r != nil && r != error(errThreadKilled) {
-				if err, ok := r.(error); ok {
-					t.fault = fmt.Errorf("sched: thread %s panicked: %w", t.Name, err)
-				} else {
-					t.fault = fmt.Errorf("sched: thread %s panicked: %v", t.Name, r)
-				}
+				t.fault = &ThreadCrash{Thread: t.Name, Cause: causeFromPanic(r)}
 				if s.firstFault == nil {
 					s.firstFault = t.fault
 				}
@@ -199,9 +195,20 @@ func (s *coop) spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
 func (s *coop) run(timers *Timers) error {
 	for {
 		if len(s.queue) == 0 {
-			// No runnable thread: fire the earliest timer if any.
-			if timers != nil && timers.fireEarliest() {
-				continue
+			// No runnable thread: fire the earliest timer if any. A
+			// timer callback runs on this goroutine, so a contract
+			// violation it trips must be caught here, not crash Run.
+			if timers != nil {
+				fired, err := s.fireTimer(timers)
+				if err != nil {
+					if s.firstFault == nil {
+						s.firstFault = err
+					}
+					break
+				}
+				if fired {
+					continue
+				}
 			}
 			break
 		}
@@ -220,6 +227,13 @@ func (s *coop) run(timers *Timers) error {
 		}
 		s.dispatch(t)
 	}
+	if s.firstFault != nil {
+		// A crashed thread can never wake its joiners: unwind every
+		// remaining thread and surface the fault itself, not the
+		// secondary deadlock it caused.
+		s.killAll()
+		return s.firstFault
+	}
 	// Unwind service threads so their goroutines do not outlive the
 	// scheduler.
 	s.killDaemons()
@@ -230,7 +244,19 @@ func (s *coop) run(timers *Timers) error {
 			return fmt.Errorf("%w: %s still blocked", ErrDeadlock, t.Name)
 		}
 	}
-	return s.firstFault
+	return nil
+}
+
+// fireTimer runs the earliest timer under a recover: timer callbacks
+// execute on the scheduler's own goroutine, where a panic would
+// otherwise escape Run entirely.
+func (s *coop) fireTimer(timers *Timers) (fired bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ThreadCrash{Thread: "timer", Cause: causeFromPanic(r)}
+		}
+	}()
+	return timers.fireEarliest(), nil
 }
 
 // killDaemons resumes every live daemon with the kill flag set; its
@@ -240,6 +266,26 @@ func (s *coop) killDaemons() {
 		progress := false
 		for _, t := range s.threads {
 			if !t.Daemon || t.state == Exited {
+				continue
+			}
+			t.killed = true
+			t.state = Ready
+			s.dispatch(t)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// killAll unwinds every live thread, daemon or not — the post-fault
+// teardown path, where blocked joiners would otherwise leak goroutines.
+func (s *coop) killAll() {
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for _, t := range s.threads {
+			if t.state == Exited {
 				continue
 			}
 			t.killed = true
