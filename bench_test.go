@@ -461,6 +461,37 @@ func BenchmarkExplore(b *testing.B) {
 	}
 }
 
+// --- Overload: goodput under saturation, shed vs oblivious -----------
+
+// BenchmarkOverload runs the full goodput-vs-offered-load matrix and
+// reports the headline simulated metrics the CI gate pins: goodput
+// with shedding at the highest offered load on the MPK-switched image
+// (iperf and redis), the oblivious baseline it must beat, and the
+// breaker's half-open re-close count.
+func BenchmarkOverload(b *testing.B) {
+	var res *harness.OverloadResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.Overload()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	row := func(workload, image, mode string, load int) harness.OverloadRow {
+		for _, r := range res.Rows {
+			if r.Workload == workload && r.Image == image && r.Mode == mode && r.Load == load {
+				return r
+			}
+		}
+		b.Fatalf("missing row %s/%s/%s/%d", workload, image, mode, load)
+		return harness.OverloadRow{}
+	}
+	b.ReportMetric(row("iperf-tcp", "mpk-switched", "shed", 8).Goodput, "sim-shed-Mbps")
+	b.ReportMetric(row("iperf-tcp", "mpk-switched", "noshed", 8).Goodput, "sim-noshed-Mbps")
+	b.ReportMetric(row("redis-get", "mpk-switched", "shed", 32).Goodput, "sim-shed-kreqs")
+	b.ReportMetric(float64(res.Breaker.Closes), "breaker-closes")
+}
+
 // BenchmarkParetoFront measures the skyline filter over a design
 // space grown well past the default image (every subset of one
 // candidate list replicated with perturbed scores), where the old

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|all [-quick] [-ops N]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|all [-quick] [-ops N]
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	flag.Parse()
@@ -63,6 +63,12 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatBlastRadius(r))
+		case "overload":
+			r, err := harness.Overload()
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatOverload(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -72,7 +78,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 
 	"flexos"
 	"flexos/internal/clock"
@@ -78,6 +79,15 @@ func main() {
 		}
 		if d := ring.Dropped(); d > 0 {
 			fmt.Printf("  (%d older events overwritten; raise -trace to keep more)\n", d)
+			by := ring.DroppedByKind()
+			kinds := make([]string, 0, len(by))
+			for kind := range by {
+				kinds = append(kinds, kind)
+			}
+			sort.Strings(kinds)
+			for _, kind := range kinds {
+				fmt.Printf("    dropped %-12s %d\n", kind, by[kind])
+			}
 		}
 	}
 }

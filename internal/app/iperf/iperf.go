@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 
+	"flexos/internal/clock"
+	"flexos/internal/fault"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
 	"flexos/internal/net"
@@ -36,6 +38,31 @@ type Server struct {
 	BytesReceived uint64
 	// Recvs counts recv() calls.
 	Recvs uint64
+
+	// Overload-aware mode (RunOverload). Budget is the per-drain service
+	// budget in cycles, measured from the head segment's wire arrival:
+	// data drained within Budget of hitting the machine is "good", data
+	// drained later is "late". 0 disables the accounting.
+	Budget uint64
+	// Enforce stamps arrival+Budget as the thread deadline around each
+	// drain, so the overload-control plane (admission queues, gate
+	// deadline checks, breaker) can refuse work that is already late.
+	// Without Enforce the server processes everything — the collapse
+	// baseline.
+	Enforce bool
+	// ProcFactor scales the per-byte application processing charged for
+	// data served in time (multiples of the drain's copy cost). This is
+	// the work worth protecting: an enforcing server skips it for late
+	// data, a non-enforcing server burns it regardless.
+	ProcFactor int
+
+	// GoodBytes is payload drained within Budget of arrival (goodput).
+	GoodBytes uint64
+	// LateBytes is payload drained past its budget (or dropped unread).
+	LateBytes uint64
+	// Sheds counts drains refused by the overload-control plane
+	// (admission shed, gate deadline trap, or open breaker).
+	Sheds uint64
 }
 
 // NewServer builds an iperf server for the app library environment.
@@ -48,8 +75,10 @@ func (s *Server) call(fnName string, words int, fn func() error) error {
 	return s.env.CallFn("libc", fnName, words, fn)
 }
 
-// Run accepts one connection and drains it to EOF.
-func (s *Server) Run(t *sched.Thread) error {
+// setup listens, accepts one connection, and allocates the recv
+// buffer: a ref-counted descriptor over the shared window, handed down
+// the stack by reference on the zero-copy data path.
+func (s *Server) setup(t *sched.Thread) (*net.Socket, mem.BufRef, error) {
 	var listener *net.Socket
 	err := s.call("listen", 2, func() error {
 		var err error
@@ -57,7 +86,7 @@ func (s *Server) Run(t *sched.Thread) error {
 		return err
 	})
 	if err != nil {
-		return fmt.Errorf("iperf server: %w", err)
+		return nil, mem.BufRef{}, fmt.Errorf("iperf server: %w", err)
 	}
 	var conn *net.Socket
 	if err := s.call("accept", 1, func() error {
@@ -65,26 +94,38 @@ func (s *Server) Run(t *sched.Thread) error {
 		conn, err = s.libc.Accept(t, listener)
 		return err
 	}); err != nil {
-		return fmt.Errorf("iperf server accept: %w", err)
+		return nil, mem.BufRef{}, fmt.Errorf("iperf server accept: %w", err)
 	}
-	// The recv buffer crosses the app/libc/netstack boundary: a
-	// ref-counted descriptor over the shared window, handed down the
-	// stack by reference on the zero-copy data path.
 	var buf mem.BufRef
 	if err := s.call("malloc", 1, func() error {
 		var err error
 		buf, err = s.libc.BufAlloc(s.RecvBuf)
 		return err
 	}); err != nil {
+		return nil, mem.BufRef{}, err
+	}
+	return conn, buf, nil
+}
+
+// recv drains up to len(buf) bytes through the app -> libc gate.
+func (s *Server) recv(t *sched.Thread, conn *net.Socket, buf mem.BufRef) (int, error) {
+	var n int
+	err := s.call("recv", 3, func() error {
+		var err error
+		n, err = s.libc.RecvBuf(t, conn, buf)
+		return err
+	})
+	return n, err
+}
+
+// Run accepts one connection and drains it to EOF.
+func (s *Server) Run(t *sched.Thread) error {
+	conn, buf, err := s.setup(t)
+	if err != nil {
 		return err
 	}
 	for {
-		var n int
-		err := s.call("recv", 3, func() error {
-			var err error
-			n, err = s.libc.RecvBuf(t, conn, buf)
-			return err
-		})
+		n, err := s.recv(t, conn, buf)
 		if err == io.EOF {
 			break
 		}
@@ -96,6 +137,115 @@ func (s *Server) Run(t *sched.Thread) error {
 		s.Recvs++
 	}
 	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+}
+
+// account books one drain: good data pays the application processing
+// cost and counts toward goodput; late data is dropped unprocessed by
+// an enforcing server (shedding's payoff) but burns the full processing
+// cost on an oblivious one — which is why its goodput collapses as
+// offered load grows.
+func (s *Server) account(n int, good bool) {
+	s.env.Charge(appWorkPerRecv)
+	s.BytesReceived += uint64(n)
+	s.Recvs++
+	proc := clock.CopyCycles(n) * uint64(s.ProcFactor)
+	switch {
+	case good:
+		s.env.Charge(proc)
+		s.GoodBytes += uint64(n)
+	case s.Enforce:
+		s.LateBytes += uint64(n)
+	default:
+		s.env.Charge(proc)
+		s.LateBytes += uint64(n)
+	}
+}
+
+// RunOverload accepts one connection and drains it to EOF under the
+// per-drain budget, classifying payload as good or late by its wire
+// arrival stamp. In enforce mode each drain of a non-empty queue runs
+// under the thread deadline arrival+Budget, so the overload-control
+// plane — admission queues, gate deadline checks, the circuit breaker —
+// refuses drains whose data is already stale. A refusal flips the
+// server into a recovery drain: the late backlog is consumed *without*
+// a deadline (flow control must keep moving, and when a breaker is open
+// the undeadlined drain doubles as the half-open probe that lets it
+// re-close) and without the processing cost.
+func (s *Server) RunOverload(t *sched.Thread) error {
+	conn, buf, err := s.setup(t)
+	if err != nil {
+		return err
+	}
+	draining := false
+	for {
+		if draining {
+			n, err := s.recv(t, conn, buf)
+			switch {
+			case err == io.EOF:
+				return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+			case fault.IsOverload(err):
+				// An open breaker fails the drain fast, at almost no
+				// cost; charge an explicit retry backoff so the virtual
+				// clock moves through the cooldown toward the probe.
+				if n > 0 {
+					s.account(n, false)
+				}
+				s.env.Charge(clock.CostFaultBackoff)
+				continue
+			case err != nil:
+				return fmt.Errorf("iperf overload server drain: %w", err)
+			}
+			// The cheap drain catches up: the moment the data coming off
+			// the queue is fresh again (within budget of its arrival), it
+			// is worth its processing cost and normal deadlined service
+			// resumes. Without this, one shed under sustained load would
+			// pin the server in recovery forever — the queue never fully
+			// empties while clients keep sending.
+			arrival := conn.LastRxArrival()
+			fresh := arrival != 0 && s.env.CPU.Cycles() <= arrival+s.Budget
+			s.account(n, fresh)
+			if fresh || conn.HeadArrival() == 0 {
+				draining = false
+			}
+			continue
+		}
+		arrival := conn.HeadArrival()
+		var n int
+		var rerr error
+		doRecv := func() error {
+			var err error
+			n, err = s.recv(t, conn, buf)
+			return err
+		}
+		if s.Enforce && arrival != 0 {
+			rerr = s.env.WithDeadline(t, arrival+s.Budget, doRecv)
+		} else {
+			rerr = doRecv()
+		}
+		switch {
+		case rerr == io.EOF:
+			return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+		case fault.IsOverload(rerr):
+			// Bytes drained before a mid-drain trap are late by
+			// definition; the rest of the backlog goes to recovery.
+			s.Sheds++
+			if n > 0 {
+				s.account(n, false)
+			}
+			draining = true
+			continue
+		case rerr != nil:
+			return fmt.Errorf("iperf overload server recv: %w", rerr)
+		}
+		if arrival == 0 {
+			// The queue was empty and the drain parked: the data's age
+			// starts at its actual wire arrival, not at the park.
+			arrival = conn.LastRxArrival()
+		}
+		good := s.Budget == 0 || arrival == 0 ||
+			s.env.CPU.Cycles() <= arrival+s.Budget
+		s.account(n, good)
+	}
 }
 
 // Client sends Total bytes in WriteSize chunks and closes.

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"flexos/internal/clock"
+	"flexos/internal/fault"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
 	"flexos/internal/net"
@@ -29,6 +30,30 @@ type Server struct {
 
 	// Commands counts executed commands.
 	Commands uint64
+
+	// Overload-aware mode. Budget is the per-command service budget in
+	// cycles, measured from the wire arrival of the recv that carried
+	// the request: a command answered within Budget is good, later is
+	// late. 0 disables the accounting.
+	Budget uint64
+	// Enforce stamps arrival+Budget as the thread deadline around each
+	// command's execution, so the overload-control plane can shed the
+	// command's store/reply crossings; a shed command is answered with
+	// -BUSY (written without a crossing) instead of being served.
+	Enforce bool
+
+	// Good counts commands answered within Budget of arrival.
+	Good uint64
+	// Late counts commands answered past their budget.
+	Late uint64
+	// Shed counts commands refused by the overload-control plane and
+	// answered -BUSY.
+	Shed uint64
+	// MaxAge records the largest observed command age (completion cycle
+	// minus request arrival). Calibration probes run with Budget 0 and
+	// read this back to derive budgets from measured ages rather than
+	// guessed cost models.
+	MaxAge uint64
 }
 
 // NewServer builds a Redis server for the app environment.
@@ -107,6 +132,9 @@ type connState struct {
 	// rxBuf/txBuf are the pool descriptors behind rx/tx.
 	rxBuf, txBuf mem.BufRef
 	rxLen        int
+	// arrival is the wire-arrival stamp of the most recent recv — the
+	// moment the commands now sitting in the rx buffer hit the machine.
+	arrival uint64
 }
 
 func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
@@ -152,6 +180,7 @@ func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
 				return fmt.Errorf("redis server recv: %w", err)
 			}
 			c.rxLen += n
+			c.arrival = conn.LastRxArrival()
 			continue
 		}
 		// Protocol parse work is application code.
@@ -169,11 +198,49 @@ func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
 			}
 			return fmt.Errorf("redis server: %v", perr)
 		}
-		txOff, err = c.execute(spans, view, txOff)
-		if err != nil {
+		preOff := txOff
+		exec := func() error {
+			var err error
+			txOff, err = c.execute(spans, view, txOff)
 			return err
 		}
-		s.Commands++
+		var xerr error
+		if s.Enforce && s.Budget != 0 && c.arrival != 0 {
+			// Everything the command does past this point — store
+			// crossings, the reply's libc memcpy — runs under the
+			// request's deadline, so the control plane sheds work whose
+			// answer would be worthless anyway.
+			xerr = s.env.WithDeadline(t, c.arrival+s.Budget, exec)
+		} else {
+			xerr = exec()
+		}
+		switch {
+		case fault.IsOverload(xerr):
+			// Roll back any partial reply (bulkReply writes its "$n"
+			// header before the payload crossing that shed) and answer
+			// -BUSY like real Redis under overload. The error reply is
+			// protocol scaffolding: written in app code, no crossing, so
+			// it cannot itself be shed.
+			txOff = preOff
+			if txOff, err = c.writeGo(preOff, appendError(nil, "BUSY overload shed")); err != nil {
+				return err
+			}
+			s.Shed++
+		case xerr != nil:
+			return xerr
+		default:
+			s.Commands++
+			if c.arrival != 0 {
+				if age := s.env.CPU.Cycles() - c.arrival; age > s.MaxAge {
+					s.MaxAge = age
+				}
+			}
+			if s.Budget != 0 && c.arrival != 0 && s.env.CPU.Cycles() > c.arrival+s.Budget {
+				s.Late++
+			} else if s.Budget != 0 {
+				s.Good++
+			}
+		}
 		// Flush early if the next reply might not fit.
 		if txOff > s.bufSize/2 {
 			if err := flush(); err != nil {

@@ -167,6 +167,24 @@ const (
 	// the supervisor doubles it per retry (bounded exponential backoff).
 	CostFaultBackoff = 2000
 
+	// CostDeadlineRefuse is an isolating gate refusing entry because
+	// the crossing's fixed cost no longer fits the frame's deadline:
+	// one clock read, one compare, one typed error — deliberately far
+	// below CostFaultTrap, since nothing crossed and nothing needs
+	// containment bookkeeping.
+	CostDeadlineRefuse = 20
+
+	// CostOverloadShed is the admission queue rejecting a call before
+	// the gate: queue-depth check plus constructing the typed error.
+	// Cheap rejection is the whole value of shedding — compare
+	// CostFaultTrap (900) for work that crossed and then failed.
+	CostOverloadShed = 120
+
+	// CostBreakerFastFail is an open circuit breaker failing a call
+	// fast: a state load and a branch, even cheaper than a shed
+	// because no queue accounting is touched.
+	CostBreakerFastFail = 40
+
 	// CostDictOpFixed is the Redis dict lookup/insert fixed cost.
 	CostDictOpFixed = 120
 

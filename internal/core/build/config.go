@@ -19,6 +19,7 @@ import (
 	"flexos/internal/mem"
 	"flexos/internal/mpk"
 	"flexos/internal/net"
+	"flexos/internal/rt"
 	"flexos/internal/sh"
 )
 
@@ -144,6 +145,14 @@ type Config struct {
 	// directive "onfault"). Compartments absent from the map abort:
 	// a trap propagates to the caller as a typed error.
 	OnFault map[string]fault.Policy
+	// Overload maps compartment name -> admission-queue spec
+	// (configfile directive "overload <comp> <depth> <policy>").
+	// Compartments absent from the map admit every call.
+	Overload map[string]rt.OverloadSpec
+	// Breaker maps compartment name -> circuit-breaker spec
+	// (configfile directive "breaker <comp> <threshold> <window>
+	// <cooldown>"). Compartments absent from the map never open.
+	Breaker map[string]rt.BreakerSpec
 }
 
 // DefaultLibraries is the library set of the canonical six-library
@@ -263,6 +272,34 @@ func normalize(cfg *Config) ([]Compartment, error) {
 		case fault.PolicyAbort, fault.PolicyRestart, fault.PolicyDegrade:
 		default:
 			return nil, fmt.Errorf("build: unknown fault policy %v for compartment %q", p, comp)
+		}
+	}
+	for comp, spec := range cfg.Overload {
+		if !names[comp] {
+			return nil, fmt.Errorf("build: overload spec for unknown compartment %q", comp)
+		}
+		switch spec.Policy {
+		case fault.ShedPolicyShed, fault.ShedPolicyBlock, fault.ShedPolicyDeadline:
+		default:
+			return nil, fmt.Errorf("build: unknown shed policy %v for compartment %q", spec.Policy, comp)
+		}
+		if spec.Depth < 0 {
+			return nil, fmt.Errorf("build: negative overload depth for compartment %q", comp)
+		}
+		// Depth 0 only bites under the deadline policy (shed on budget
+		// expiry alone); with shed/block it would be a no-op entry,
+		// which the directive parser already elides.
+		if spec.Depth == 0 && spec.Policy != fault.ShedPolicyDeadline {
+			return nil, fmt.Errorf("build: overload depth 0 for compartment %q needs the deadline policy", comp)
+		}
+	}
+	for comp, spec := range cfg.Breaker {
+		if !names[comp] {
+			return nil, fmt.Errorf("build: breaker spec for unknown compartment %q", comp)
+		}
+		if spec.Threshold <= 0 || spec.Window <= 0 || spec.Threshold > spec.Window {
+			return nil, fmt.Errorf("build: breaker for compartment %q wants 0 < threshold <= window, got %d/%d",
+				comp, spec.Threshold, spec.Window)
 		}
 	}
 	// MPK shares the hardware's 16 protection keys; one is the shared

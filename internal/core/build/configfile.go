@@ -10,6 +10,7 @@ import (
 	"flexos/internal/fault"
 	"flexos/internal/mpk"
 	"flexos/internal/net"
+	"flexos/internal/rt"
 	"flexos/internal/sh"
 )
 
@@ -30,6 +31,8 @@ import (
 //	sh <library> <none|full|asan[,cfi][,ssp][,ubsan]>
 //	compartment <name> <library> [library...]
 //	onfault <compartment> <abort|restart|degrade>
+//	overload <compartment> <queue-depth> <shed|block|deadline>
+//	breaker <compartment> <threshold> <window> <cooldown-cycles>
 
 // ParseConfig parses configuration-file source into a Config.
 func ParseConfig(src string) (Config, error) {
@@ -202,6 +205,53 @@ func applyDirective(cfg *Config, fields []string) error {
 		} else {
 			cfg.OnFault[args[0]] = p
 		}
+	case "overload":
+		if err := need(3); err != nil {
+			return err
+		}
+		depth, err := strconv.Atoi(args[1])
+		if err != nil || depth < 0 {
+			return fmt.Errorf("overload wants a non-negative queue depth, got %q", args[1])
+		}
+		p, err := fault.ParseShedPolicy(args[2])
+		if err != nil {
+			return err
+		}
+		if cfg.Overload == nil {
+			cfg.Overload = make(map[string]rt.OverloadSpec)
+		}
+		if depth == 0 && p != fault.ShedPolicyDeadline {
+			// A zero depth with shed/block admits everything: back to
+			// the default, entry dropped (cf. onfault abort).
+			delete(cfg.Overload, args[0])
+		} else {
+			cfg.Overload[args[0]] = rt.OverloadSpec{Depth: depth, Policy: p}
+		}
+	case "breaker":
+		if err := need(4); err != nil {
+			return err
+		}
+		threshold, err := strconv.Atoi(args[1])
+		if err != nil || threshold < 0 {
+			return fmt.Errorf("breaker wants a non-negative threshold, got %q", args[1])
+		}
+		window, err := strconv.Atoi(args[2])
+		if err != nil || window < 0 {
+			return fmt.Errorf("breaker wants a non-negative window, got %q", args[2])
+		}
+		cooldown, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("breaker wants a cooldown in cycles, got %q", args[3])
+		}
+		if cfg.Breaker == nil {
+			cfg.Breaker = make(map[string]rt.BreakerSpec)
+		}
+		if threshold == 0 {
+			// Threshold 0 never opens: back to the default, entry dropped.
+			delete(cfg.Breaker, args[0])
+		} else {
+			cfg.Breaker[args[0]] = rt.BreakerSpec{Threshold: threshold, Window: window, Cooldown: cooldown}
+		}
 	default:
 		return fmt.Errorf("unknown directive %q", dir)
 	}
@@ -287,6 +337,24 @@ func FormatConfig(cfg Config) string {
 	sort.Strings(faulted)
 	for _, comp := range faulted {
 		fmt.Fprintf(&b, "onfault %s %s\n", comp, cfg.OnFault[comp])
+	}
+	overloaded := make([]string, 0, len(cfg.Overload))
+	for comp := range cfg.Overload {
+		overloaded = append(overloaded, comp)
+	}
+	sort.Strings(overloaded)
+	for _, comp := range overloaded {
+		spec := cfg.Overload[comp]
+		fmt.Fprintf(&b, "overload %s %d %s\n", comp, spec.Depth, spec.Policy)
+	}
+	broken := make([]string, 0, len(cfg.Breaker))
+	for comp := range cfg.Breaker {
+		broken = append(broken, comp)
+	}
+	sort.Strings(broken)
+	for _, comp := range broken {
+		spec := cfg.Breaker[comp]
+		fmt.Fprintf(&b, "breaker %s %d %d %d\n", comp, spec.Threshold, spec.Window, spec.Cooldown)
 	}
 	return b.String()
 }

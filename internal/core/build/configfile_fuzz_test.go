@@ -16,6 +16,9 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("backend cheri\nonfault all degrade\n# comment\n\n")
 	f.Add("backend funccall\nsh app full\nsh app none\n")
 	f.Add("onfault nowhere abort\nbackend mpk-switched\n")
+	f.Add("backend mpk-switched\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n" +
+		"overload nw 8 shed\noverload nw 0 deadline\nbreaker nw 4 256 40000\n")
+	f.Add("overload nw -1 block\nbreaker nw 999 1 18446744073709551615\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		cfg, err := ParseConfig(src)
 		if err != nil {

@@ -1,0 +1,111 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/fault"
+	"flexos/internal/rt"
+)
+
+func TestOverloadDirectiveRoundTrip(t *testing.T) {
+	src := "backend mpk-switched\n" +
+		"compartment nw netstack\n" +
+		"compartment lc libc\n" +
+		"compartment core sched alloc app rest\n" +
+		"overload nw 8 shed\n" +
+		"overload lc 0 deadline\n" +
+		"breaker nw 4 256 40000\n"
+	cfg, err := ParseConfig(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Overload["nw"] != (rt.OverloadSpec{Depth: 8, Policy: fault.ShedPolicyShed}) {
+		t.Fatalf("Overload[nw] = %+v", cfg.Overload["nw"])
+	}
+	if cfg.Overload["lc"] != (rt.OverloadSpec{Depth: 0, Policy: fault.ShedPolicyDeadline}) {
+		t.Fatalf("Overload[lc] = %+v", cfg.Overload["lc"])
+	}
+	if cfg.Breaker["nw"] != (rt.BreakerSpec{Threshold: 4, Window: 256, Cooldown: 40000}) {
+		t.Fatalf("Breaker[nw] = %+v", cfg.Breaker["nw"])
+	}
+	out := FormatConfig(cfg)
+	// Deterministic output: specs are emitted sorted by compartment.
+	lcIdx := strings.Index(out, "overload lc 0 deadline\n")
+	nwIdx := strings.Index(out, "overload nw 8 shed\n")
+	if lcIdx < 0 || nwIdx < 0 || lcIdx > nwIdx {
+		t.Fatalf("overload lines missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "breaker nw 4 256 40000\n") {
+		t.Fatalf("breaker line missing:\n%s", out)
+	}
+	cfg2, err := ParseConfig(out)
+	if err != nil {
+		t.Fatalf("formatted config failed to reparse: %v\n%s", err, out)
+	}
+	if len(cfg2.Overload) != 2 || len(cfg2.Breaker) != 1 ||
+		cfg2.Overload["nw"] != cfg.Overload["nw"] ||
+		cfg2.Overload["lc"] != cfg.Overload["lc"] ||
+		cfg2.Breaker["nw"] != cfg.Breaker["nw"] {
+		t.Fatalf("round-trip Overload = %v Breaker = %v", cfg2.Overload, cfg2.Breaker)
+	}
+}
+
+func TestOverloadDefaultsAreElided(t *testing.T) {
+	// Depth 0 with shed/block admits everything, and threshold 0 never
+	// opens: both are the default, so the entries are dropped (cf.
+	// onfault abort).
+	src := "backend mpk-shared\n" +
+		"compartment nw netstack\n" +
+		"compartment core sched alloc libc app rest\n" +
+		"overload nw 8 block\n" +
+		"overload nw 0 shed\n" +
+		"breaker nw 4 128 1000\n" +
+		"breaker nw 0 128 1000\n"
+	cfg, err := ParseConfig(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Overload) != 0 || len(cfg.Breaker) != 0 {
+		t.Fatalf("Overload = %v Breaker = %v, want both empty", cfg.Overload, cfg.Breaker)
+	}
+	out := FormatConfig(cfg)
+	if strings.Contains(out, "overload") || strings.Contains(out, "breaker") {
+		t.Fatalf("default specs emitted:\n%s", out)
+	}
+}
+
+func TestOverloadValidation(t *testing.T) {
+	base := "backend mpk-shared\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n"
+	cases := []struct {
+		name, directive string
+	}{
+		{"unknown compartment", "overload ghost 4 shed\n"},
+		{"unknown policy", "overload nw 4 explode\n"},
+		{"negative depth", "overload nw -1 shed\n"},
+		{"depth 0 without deadline policy is the block default", ""},
+		{"missing args", "overload nw\n"},
+		{"breaker unknown compartment", "breaker ghost 4 128 1000\n"},
+		{"breaker negative threshold", "breaker nw -4 128 1000\n"},
+		{"breaker threshold above window", "breaker nw 200 128 1000\n"},
+		{"breaker missing args", "breaker nw 4\n"},
+	}
+	for _, tc := range cases {
+		if tc.directive == "" {
+			continue
+		}
+		if _, err := ParseConfig(base + tc.directive); err == nil {
+			t.Errorf("%s: %q accepted", tc.name, strings.TrimSpace(tc.directive))
+		}
+	}
+	// The world build re-runs the same validation on hand-built configs
+	// that never went through the parser.
+	cfg, err := ParseConfig(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overload = map[string]rt.OverloadSpec{"nw": {Depth: 0, Policy: fault.ShedPolicyBlock}}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("depth 0 with block policy accepted by NewWorld")
+	}
+}

@@ -107,9 +107,13 @@ func NewWorld(cfg Config) (*World, error) {
 	// The client is a load generator, not a system under test: its
 	// cycles are never reported, and its socket calls run in direct
 	// mode so the shared scheduler isn't churned by a second tcpip
-	// thread.
+	// thread. It also runs without overload control — admission queues
+	// and breakers on the load generator would throttle the offered
+	// load the experiment is sweeping.
 	clientCfg := cfg
 	clientCfg.Net.SocketMode = net.DirectMode
+	clientCfg.Overload = nil
+	clientCfg.Breaker = nil
 	client, err := newMachine(clientCfg, comps, s, net.IP4(10, 0, 0, 2))
 	if err != nil {
 		return nil, fmt.Errorf("build: client: %w", err)
@@ -154,6 +158,15 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	for comp, p := range cfg.OnFault {
 		m.Sup.SetPolicy(comp, p)
 	}
+	for comp, spec := range cfg.Overload {
+		m.Sup.SetOverload(comp, spec)
+	}
+	for comp, spec := range cfg.Breaker {
+		m.Sup.SetBreaker(comp, spec)
+	}
+	// The block admission policy parks callers on the scheduler, and
+	// routed frames inherit the running thread's deadline.
+	m.Sup.SetThreadSource(s.Current)
 
 	// compKey gives compartment i protection key i+1 (key 0 is the
 	// shared window). normalize already bounded the count for MPK.
@@ -308,6 +321,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			Pool:       m.Pool,
 			Hard:       hard,
 			Sup:        m.Sup,
+			Cur:        s.Current,
 		}
 	}
 

@@ -54,6 +54,9 @@ func (g *CHERIGate) Crossings() uint64 { return g.count }
 // words are marshalled.
 func (g *CHERIGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
+	if err := deadlineCheck(g.cpu, CHERI, from, to, frame); err != nil {
+		return err
+	}
 	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear+
 		uint64(frame.EntryWords())*clock.CostParamCopyPerWord)
 	pc := from.Name + "->" + to.Name

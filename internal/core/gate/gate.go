@@ -152,6 +152,35 @@ type CallFrame struct {
 	ArgWords int
 	RetWords int
 	Bufs     []mem.BufRef
+	// Deadline is an absolute virtual-clock deadline (in cycles; 0
+	// means none). Isolating gates refuse entry with a KindDeadline
+	// trap when the crossing's fixed cost can no longer fit before the
+	// deadline; nested calls inherit the caller's deadline through the
+	// runtime (rt.Env stamps it from the current thread), so the
+	// budget is naturally decremented by every crossing and every
+	// cycle of callee work charged to the shared clock. The direct
+	// (funccall) gate ignores deadlines, exactly as it has no trap
+	// boundary: an uncompartmentalized image has no enforcement point.
+	Deadline uint64
+}
+
+// deadlineCheck refuses a crossing whose fixed cost cannot complete
+// within the frame's deadline, returning a KindDeadline trap via
+// fault.Classify. Gates call it on entry, before charging any
+// crossing cost: refusing late work must stay far cheaper than doing
+// it.
+func deadlineCheck(cpu *clock.CPU, b Backend, from, to *Domain, frame CallFrame) error {
+	if frame.Deadline == 0 {
+		return nil
+	}
+	now := cpu.Cycles()
+	if now+CrossingCost(b) <= frame.Deadline {
+		return nil
+	}
+	cpu.Charge(clock.CompGate, clock.CostDeadlineRefuse)
+	pc := from.Name + "->" + to.Name
+	return fault.Classify(to.Name, pc,
+		&fault.DeadlineExceeded{PC: pc, Deadline: frame.Deadline, Now: now})
 }
 
 // EntryWords is the number of scalar words marshalled on entry: the
@@ -251,6 +280,9 @@ func (g *mpkGate) checkSharedBufs(frame CallFrame) error {
 
 func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
+	if err := deadlineCheck(g.cpu, g.Backend(), from, to, frame); err != nil {
+		return err
+	}
 	if !g.switched {
 		// By-reference transfer: descriptors must land in the shared
 		// window or the callee's loads would fault.
@@ -316,6 +348,9 @@ func (g *rpcGate) Crossings() uint64 { return g.count }
 
 func (g *rpcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
+	if err := deadlineCheck(g.cpu, VMRPC, from, to, frame); err != nil {
+		return err
+	}
 	// Request: marshal descriptor + args — and, since the VMs share no
 	// address space, the payload bytes themselves — into the shared
 	// ring, notify the callee VM, callee is scheduled.

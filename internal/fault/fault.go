@@ -44,6 +44,12 @@ const (
 	// KindSched is a scheduler kill-path or contract fault routed
 	// through the trap type (verified-scheduler invariant violations).
 	KindSched
+	// KindDeadline is a virtual-clock deadline miss: a gate refused a
+	// crossing whose fixed cost could no longer fit in the frame's
+	// budget (see DeadlineExceeded). Deadline traps are load faults,
+	// not memory faults: the supervisor never restarts them — an
+	// absolute deadline cannot be beaten by replaying the call.
+	KindDeadline
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +67,8 @@ func (k Kind) String() string {
 		return "sealed-wrpkru"
 	case KindSched:
 		return "sched"
+	case KindDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -129,6 +137,10 @@ func Classify(comp, pc string, err error) error {
 	var sv *sh.Violation
 	if errors.As(err, &sv) {
 		return &Trap{Comp: comp, Kind: KindASAN, PC: pc, Addr: sv.Addr, Cause: err}
+	}
+	var de *DeadlineExceeded
+	if errors.As(err, &de) {
+		return &Trap{Comp: comp, Kind: KindDeadline, PC: pc, Cause: err}
 	}
 	return err
 }

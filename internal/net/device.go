@@ -2,6 +2,7 @@ package net
 
 import (
 	"flexos/internal/clock"
+	"flexos/internal/sched"
 )
 
 // Platform selects the virtualization platform the image runs on,
@@ -100,5 +101,22 @@ func (n *NIC) receive(frame []byte) {
 	n.stack.restHard.OnFrame()
 	n.stack.restHard.OnTouch(len(frame))
 	n.stack.restHard.OnBulk(len(frame) / 8)
+	// Delivery borrows whatever thread happened to transmit, but the
+	// peer's input processing is the receive-interrupt analogue, not
+	// part of that caller's deadlined work: a frame deadline must not
+	// leak across the wire. If it did, a gate on the receiving machine
+	// could refuse the input path's internal crossings — and a refused
+	// semaphore wake-up (the ACK that reopens a stalled sender's flow
+	// control, swallowed on the rx path) wedges the connection forever.
+	var cur *sched.Thread
+	var saved uint64
+	if n.stack.env.Cur != nil {
+		if cur = n.stack.env.Cur(); cur != nil {
+			saved, cur.Deadline = cur.Deadline, 0
+		}
+	}
 	n.stack.input(frame)
+	if cur != nil {
+		cur.Deadline = saved
+	}
 }

@@ -70,6 +70,16 @@ type machine struct {
 
 func newMachine(t *testing.T, s sched.Scheduler, ip IPAddr, cfg Config) *machine {
 	t.Helper()
+	return newMachineWith(t, s, ip, cfg, func(a *mem.Arena) Support {
+		return testSup{arena: a}
+	})
+}
+
+// newMachineWith is newMachine with the Support implementation chosen
+// by the caller (fault-injecting sups for the overload regressions).
+func newMachineWith(t *testing.T, s sched.Scheduler, ip IPAddr, cfg Config,
+	mkSup func(*mem.Arena) Support) *machine {
+	t.Helper()
 	cpu := clock.New()
 	arena := mem.NewArena(4 << 20)
 	heap, err := mem.NewHeap(arena, mem.PageSize, 3<<20, 1)
@@ -89,7 +99,7 @@ func newMachine(t *testing.T, s sched.Scheduler, ip IPAddr, cfg Config) *machine
 	}
 	cfg.IP = ip
 	m := &machine{cpu: cpu, arena: arena, heap: heap, env: env}
-	m.stack = NewStack(env, testSup{arena: arena}, s, cfg)
+	m.stack = NewStack(env, mkSup(arena), s, cfg)
 	return m
 }
 

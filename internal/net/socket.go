@@ -81,6 +81,7 @@ type seg struct {
 	addr mem.Addr // payload start within the buffer
 	off  int      // consumed prefix
 	n    int      // total payload bytes
+	at   uint64   // virtual cycle the payload arrived off the wire
 }
 
 // rtxSeg is an unacknowledged segment kept for retransmission as a
@@ -132,6 +133,10 @@ type Socket struct {
 	// Delayed-ack state.
 	delAckPending int
 	delAckTimer   *sched.Timer
+
+	// lastDrainAt is the arrival stamp of the head segment consumed by
+	// the most recent Recv (see LastRxArrival).
+	lastDrainAt uint64
 }
 
 // State exposes the connection state name (for tests and diagnostics).
@@ -145,6 +150,27 @@ func (s *Socket) RemoteAddr() (IPAddr, uint16) { return s.remoteIP, s.remotePort
 
 // Err reports a fatal socket error (reset), if any.
 func (s *Socket) Err() error { return s.sockErr }
+
+// HeadArrival reports the virtual cycle at which the oldest undrained
+// payload arrived off the wire (0 when the receive queue is empty).
+// Arrival stamps are written by the rx path and read by the
+// application as shared data — like the semaphore counters, they are
+// annotated shared during porting, so reading them crosses no gate.
+// Overload-aware servers use the head age (now - HeadArrival) as their
+// queueing-delay signal: in a cooperative image a request's service
+// time is constant, so lateness accumulates in the socket queue, not
+// in preemption.
+func (s *Socket) HeadArrival() uint64 {
+	if len(s.rcvQ) == 0 {
+		return 0
+	}
+	return s.rcvQ[0].at
+}
+
+// LastRxArrival reports the arrival stamp of the head segment consumed
+// by the most recent Recv — the moment the data a caller just read
+// first hit the machine. 0 before the first successful drain.
+func (s *Socket) LastRxArrival() uint64 { return s.lastDrainAt }
 
 // inflight reports unacknowledged bytes.
 func (s *Socket) inflight() int { return int(s.sndNxt - s.sndUna) }
@@ -193,6 +219,7 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 			rem -= s.rcvQ[i].n - s.rcvQ[i].off
 		}
 	}
+	s.lastDrainAt = s.rcvQ[0].at
 	copied := 0
 	err := st.env.CallFrame("libc", "memcpy", frame, func() error {
 		for copied < n && len(s.rcvQ) > 0 {
@@ -216,16 +243,24 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return copied, err
-	}
+	// The queued-byte accounting must follow the bytes even when the
+	// drain stopped early — e.g. a deadline trap on the nested
+	// netstack->libc memcpy crossing. The segments drained so far are
+	// consistent (consumed prefixes advanced, fully-drained buffers
+	// released); leaving rcvQueued inflated would permanently shrink
+	// the advertised window after every trapped recv.
 	s.rcvQueued -= copied
 	// Advertise the opened window when it grew by at least one MSS
-	// since the last advertisement (classic window-update rule).
+	// since the last advertisement (classic window-update rule). This
+	// must run even when the drain returns an error: a deadline trap on
+	// the drain's last segment would otherwise leave the peer believing
+	// a zero window while the queue sits empty — the sender stalls on
+	// flow control, the receiver parks waiting for data, and the
+	// connection wedges silently.
 	if s.state == stEstablished && s.rcvWnd()-s.lastAdvWnd >= MSS {
 		st.sendFlags(s, flagACK)
 	}
-	return copied, nil
+	return copied, err
 }
 
 // RecvRef is Recv with the destination described by a pool buffer

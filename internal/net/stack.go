@@ -649,7 +649,11 @@ func (st *Stack) processData(s *Socket, h *header, n int, own rxOwn) bool {
 		_ = st.sendFlags(s, flagACK)
 		return false
 	}
-	s.rcvQ = append(s.rcvQ, seg{own: own, addr: own.base + HdrLen, n: n})
+	// The arrival stamp is taken here, on the rx path, independent of
+	// when the application thread gets scheduled: head-of-queue age is
+	// the overload signal overload-aware servers budget against.
+	s.rcvQ = append(s.rcvQ, seg{own: own, addr: own.base + HdrLen, n: n,
+		at: st.env.CPU.Cycles()})
 	s.rcvQueued += n
 	s.rcvNxt += uint32(n)
 	st.stats.BytesIn += uint64(n)

@@ -14,6 +14,7 @@ import (
 	"flexos/internal/clock"
 	"flexos/internal/core/gate"
 	"flexos/internal/mem"
+	"flexos/internal/sched"
 	"flexos/internal/sh"
 )
 
@@ -51,6 +52,11 @@ type Env struct {
 	// routed call: traps raised by the callee compartment are handled
 	// (abort/restart/degrade) before the error reaches this library.
 	Sup *Supervisor
+	// Cur, when non-nil, reports the scheduler's currently-running
+	// thread. Routed calls inherit that thread's Deadline onto their
+	// gate frame, which is how a budget set at the top of a request
+	// (WithBudget) propagates through nested cross-compartment calls.
+	Cur func() *sched.Thread
 }
 
 // Charge attributes cycles to this library.
@@ -76,15 +82,58 @@ func (e *Env) CallFrame(to, fnName string, frame gate.CallFrame, fn func() error
 
 // route dispatches through the gate registry, under the machine's
 // fault supervisor when one is attached: the supervisor applies the
-// callee compartment's policy to any trap the call raises.
+// callee compartment's admission policy before the gate and its fault
+// policy to any trap the call raises. The frame inherits the current
+// thread's deadline, so nested calls stay under the original budget.
 func (e *Env) route(to, fnName string, frame gate.CallFrame, fn func() error) error {
+	if frame.Deadline == 0 {
+		frame.Deadline = e.currentDeadline()
+	}
 	if e.Sup == nil {
 		return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
 	}
 	toComp, _ := e.Gates.CompartmentOf(to)
-	return e.Sup.Supervise(toComp, func() error {
+	fromComp, _ := e.Gates.CompartmentOf(e.Lib)
+	return e.Sup.SuperviseCall(toComp, frame.Deadline, fromComp != toComp, func() error {
 		return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
 	})
+}
+
+// currentDeadline reports the running thread's deadline (0 if no
+// thread accessor is wired or no deadline is set).
+func (e *Env) currentDeadline() uint64 {
+	if e.Cur == nil {
+		return 0
+	}
+	if t := e.Cur(); t != nil {
+		return t.Deadline
+	}
+	return 0
+}
+
+// WithBudget runs fn with thread t's deadline tightened to at most
+// budget cycles from now. Every gate call fn issues (directly or
+// nested) carries the resulting absolute deadline; isolating gates
+// refuse crossings past it with a KindDeadline trap.
+func (e *Env) WithBudget(t *sched.Thread, budget uint64, fn func() error) error {
+	return e.WithDeadline(t, e.CPU.Cycles()+budget, fn)
+}
+
+// WithDeadline runs fn with thread t's absolute deadline set; the
+// tightest of the new and any enclosing deadline wins, and the
+// previous deadline is restored on return (including panic unwind).
+// A nil thread runs fn without a deadline.
+func (e *Env) WithDeadline(t *sched.Thread, deadline uint64, fn func() error) error {
+	if t == nil {
+		return fn()
+	}
+	prev := t.Deadline
+	if prev != 0 && prev < deadline {
+		deadline = prev
+	}
+	t.Deadline = deadline
+	defer func() { t.Deadline = prev }()
+	return fn()
 }
 
 // SharesBufs reports whether buffers attached to a call from this

@@ -6,6 +6,7 @@ import (
 	"flexos/internal/clock"
 	"flexos/internal/fault"
 	"flexos/internal/mem"
+	"flexos/internal/sched"
 )
 
 // maxRestartAttempts bounds the supervisor's replay loop: a compartment
@@ -30,6 +31,22 @@ type SupervisorStats struct {
 	ReclaimedRefs uint64
 	// RecoveryCycles is the virtual time spent in teardown and backoff.
 	RecoveryCycles uint64
+
+	// Sheds is how many calls the admission queues rejected before any
+	// gate crossing (overload.go).
+	Sheds uint64
+	// Blocked is how many times a caller parked waiting for an
+	// admission slot under the block policy.
+	Blocked uint64
+	// DeadlineTraps is how many KindDeadline traps (gate refused a
+	// crossing past its budget) reached the supervisor.
+	DeadlineTraps uint64
+	// BreakerFastFails is how many calls an open circuit breaker
+	// failed without crossing.
+	BreakerFastFails uint64
+	// BreakerOpens / BreakerCloses count breaker state transitions.
+	BreakerOpens  uint64
+	BreakerCloses uint64
 }
 
 // Supervisor drives per-compartment fault policy on one machine. Every
@@ -48,6 +65,16 @@ type Supervisor struct {
 	degraded map[string]*fault.Trap
 	stats    SupervisorStats
 	tracer   func(kind, comp, note string)
+
+	// Overload-control state (overload.go): per-compartment admission
+	// queues and circuit breakers in front of the gates.
+	overload  map[string]OverloadSpec
+	inFlight  map[string]int
+	admitQ    map[string]*sched.WaitQueue
+	breakers  map[string]BreakerSpec
+	brk       map[string]*breakerState
+	curThread func() *sched.Thread
+	onShed    func(comp string)
 }
 
 // NewSupervisor creates a supervisor charging recovery work to cpu.
@@ -59,6 +86,11 @@ func NewSupervisor(cpu *clock.CPU, pool *mem.SharedPool) *Supervisor {
 		policies: make(map[string]fault.Policy),
 		heaps:    make(map[string][]*mem.Heap),
 		degraded: make(map[string]*fault.Trap),
+		overload: make(map[string]OverloadSpec),
+		inFlight: make(map[string]int),
+		admitQ:   make(map[string]*sched.WaitQueue),
+		breakers: make(map[string]BreakerSpec),
+		brk:      make(map[string]*breakerState),
 	}
 }
 
@@ -75,7 +107,9 @@ func (s *Supervisor) RegisterHeap(comp string, h *mem.Heap) {
 }
 
 // SetTracer installs a callback for fault lifecycle events; kinds are
-// "fault", "recover" and "degrade" (nil disables).
+// "fault", "recover", "degrade" and the overload-control kinds
+// "overload", "shed", "deadline", "breaker-open" and "breaker-close"
+// (nil disables).
 func (s *Supervisor) SetTracer(fn func(kind, comp, note string)) { s.tracer = fn }
 
 // Degraded reports whether comp was taken out of service, and the trap
@@ -106,18 +140,57 @@ func (s *Supervisor) mark() mem.PoolMark {
 // deeper compartments (already handled by a nested Supervise closer to
 // the fault) pass through untouched.
 func (s *Supervisor) Supervise(toComp string, call func() error) error {
+	return s.SuperviseCall(toComp, 0, true, call)
+}
+
+// SuperviseCall is Supervise with the routed frame's deadline and the
+// crossing flag made explicit. Admission queues and circuit breakers
+// sit in front of *isolating* gates, so intra-compartment calls
+// (crossing=false) skip them — a compartment cannot shed calls from
+// itself — while the fault-policy machinery still applies.
+func (s *Supervisor) SuperviseCall(toComp string, deadline uint64, crossing bool, call func() error) error {
 	if t, down := s.degraded[toComp]; down {
 		return &fault.DegradedError{Comp: toComp, Cause: t}
+	}
+	if crossing {
+		release, err := s.admit(toComp, deadline)
+		if err != nil {
+			return err
+		}
+		// The slot must free (and block-policy waiters wake) even if
+		// the supervised call panics past the trap boundary — a leaked
+		// slot would turn a simulator bug into a fake deadlock.
+		defer release()
 	}
 	mark := s.mark()
 	err := call()
 	t, ok := fault.As(err)
 	if !ok || t.Comp != toComp {
+		if crossing {
+			s.breakerOK(toComp)
+		}
 		return err
+	}
+	if t.Kind == fault.KindDeadline {
+		// A deadline miss is a load fault, not a memory fault: the gate
+		// refused entry before the crossing, so there is nothing to tear
+		// down — and nothing a replay could fix, since an absolute
+		// deadline only recedes. Charge the cheap rejection path, feed
+		// the breaker, propagate.
+		s.stats.DeadlineTraps++
+		s.cpu.Charge(clock.CompFault, clock.CostOverloadShed)
+		s.trace("deadline", toComp, t.Error())
+		if crossing {
+			s.breakerFail(toComp)
+		}
+		return t
 	}
 	s.stats.Traps++
 	s.cpu.Charge(clock.CompFault, clock.CostFaultTrap)
 	s.trace("fault", toComp, t.Error())
+	if crossing {
+		s.breakerFail(toComp)
+	}
 	switch s.Policy(toComp) {
 	case fault.PolicyRestart:
 		for attempt := 1; attempt <= maxRestartAttempts; attempt++ {
@@ -131,6 +204,16 @@ func (s *Supervisor) Supervise(toComp string, call func() error) error {
 			mark = s.mark()
 			err = call()
 			if t2, again := fault.As(err); again && t2.Comp == toComp {
+				if crossing {
+					s.breakerFail(toComp)
+				}
+				if t2.Kind == fault.KindDeadline {
+					// The replay ran out of budget: stop retrying.
+					s.stats.DeadlineTraps++
+					s.cpu.Charge(clock.CompFault, clock.CostOverloadShed)
+					s.trace("deadline", toComp, t2.Error())
+					return t2
+				}
 				s.stats.Traps++
 				s.cpu.Charge(clock.CompFault, clock.CostFaultTrap)
 				s.trace("fault", toComp, t2.Error())
@@ -138,6 +221,9 @@ func (s *Supervisor) Supervise(toComp string, call func() error) error {
 				continue
 			}
 			s.stats.Recoveries++
+			if crossing {
+				s.breakerOK(toComp)
+			}
 			return err
 		}
 		s.stats.Aborts++

@@ -63,6 +63,14 @@ type Thread struct {
 	// exit: they do not keep the scheduler alive and a daemon parked
 	// at shutdown is not a deadlock.
 	Daemon bool
+	// Deadline is the thread's current absolute virtual-clock deadline
+	// (0 = none). The runtime stamps it onto every gate CallFrame the
+	// thread issues, which is how a budget set at the top of a request
+	// propagates through nested cross-compartment calls — and why it
+	// is carried per-thread: a deadline must survive the thread
+	// parking while an unrelated thread (with its own deadline) runs.
+	// Managed by rt.Env.WithDeadline; tightest deadline wins.
+	Deadline uint64
 
 	state  State
 	sched  Scheduler
@@ -103,6 +111,11 @@ type Scheduler interface {
 	ContextSwitches() uint64
 	// SwitchCost reports the per-context-switch cycle cost.
 	SwitchCost() uint64
+	// Current reports the thread running right now (nil between
+	// dispatches, e.g. from a timer callback). The runtime uses it to
+	// find the deadline a gate call should inherit and to park callers
+	// under the block admission policy.
+	Current() *Thread
 
 	yield(*Thread)
 	park(*Thread)
@@ -435,6 +448,9 @@ func (s *CScheduler) Run() error { return s.run(s.timers) }
 // Timers implements Scheduler.
 func (s *CScheduler) Timers() *Timers { return s.timers }
 
+// Current implements Scheduler.
+func (s *CScheduler) Current() *Thread { return s.current }
+
 // ContextSwitches implements Scheduler.
 func (s *CScheduler) ContextSwitches() uint64 { return s.switches }
 
@@ -466,6 +482,9 @@ func (s *VerifiedScheduler) Run() error { return s.run(s.timers) }
 
 // Timers implements Scheduler.
 func (s *VerifiedScheduler) Timers() *Timers { return s.timers }
+
+// Current implements Scheduler.
+func (s *VerifiedScheduler) Current() *Thread { return s.current }
 
 // CorruptQueueForDemo injects a duplicate run-queue entry, simulating
 // a stray cross-compartment write into scheduler state. The next

@@ -29,11 +29,12 @@ func (e Event) String() string {
 // Ring is a fixed-capacity event buffer; when full, the oldest events
 // are overwritten. The zero value is unusable; use NewRing.
 type Ring struct {
-	buf     []Event
-	next    int
-	seq     uint64
-	full    bool
-	dropped uint64
+	buf       []Event
+	next      int
+	seq       uint64
+	full      bool
+	dropped   uint64
+	droppedBy map[string]uint64
 }
 
 // NewRing creates a ring holding up to capacity events.
@@ -41,7 +42,7 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &Ring{buf: make([]Event, capacity)}
+	return &Ring{buf: make([]Event, capacity), droppedBy: make(map[string]uint64)}
 }
 
 // Emit records an event, stamping its sequence number.
@@ -50,6 +51,7 @@ func (r *Ring) Emit(e Event) {
 	r.seq++
 	if r.full {
 		r.dropped++
+		r.droppedBy[r.buf[r.next].Kind]++
 	}
 	r.buf[r.next] = e
 	r.next++
@@ -72,6 +74,22 @@ func (r *Ring) Total() uint64 { return r.seq }
 
 // Dropped reports how many events were overwritten.
 func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// DroppedKind reports how many events of one kind were overwritten.
+// Overload events ("overload", "shed", "breaker-open") come in bursts
+// precisely when the ring is busiest, so a flat total can hide that
+// the interesting kind was the one squeezed out.
+func (r *Ring) DroppedKind(kind string) uint64 { return r.droppedBy[kind] }
+
+// DroppedByKind returns a copy of the per-kind drop counts. The values
+// always sum to Dropped().
+func (r *Ring) DroppedByKind() map[string]uint64 {
+	out := make(map[string]uint64, len(r.droppedBy))
+	for k, v := range r.droppedBy {
+		out[k] = v
+	}
+	return out
+}
 
 // Events returns the held events in chronological order.
 func (r *Ring) Events() []Event {

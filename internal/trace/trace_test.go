@@ -89,6 +89,44 @@ func TestDroppedAccounting(t *testing.T) {
 	}
 }
 
+// TestDroppedByKind floods a small ring with a bursty mix (the
+// overload pattern: many crossings punctuated by shed events) and
+// checks the per-kind counters attribute every overwrite to the kind
+// that was squeezed out, summing exactly to Dropped().
+func TestDroppedByKind(t *testing.T) {
+	r := NewRing(4)
+	// 12 crossings interleaved with 4 sheds: the first 4 events fill
+	// the ring, the next 12 each overwrite the oldest.
+	for i := 0; i < 16; i++ {
+		kind := "crossing"
+		if i%4 == 3 {
+			kind = "shed"
+		}
+		r.Emit(Event{Kind: kind})
+	}
+	by := r.DroppedByKind()
+	var sum uint64
+	for _, v := range by {
+		sum += v
+	}
+	if sum != r.Dropped() {
+		t.Fatalf("per-kind drops sum to %d, Dropped() = %d", sum, r.Dropped())
+	}
+	// The 12 oldest events (9 crossings, 3 sheds) were overwritten; the
+	// newest 4 survive.
+	if by["crossing"] != 9 || by["shed"] != 3 {
+		t.Fatalf("drops by kind = %v, want crossing:9 shed:3", by)
+	}
+	if r.DroppedKind("crossing") != 9 || r.DroppedKind("nope") != 0 {
+		t.Fatalf("DroppedKind wrong: %v", by)
+	}
+	// The returned map is a copy: mutating it must not corrupt the ring.
+	by["crossing"] = 999
+	if r.DroppedKind("crossing") != 9 {
+		t.Fatal("DroppedByKind leaked internal state")
+	}
+}
+
 func TestDefaultCapacity(t *testing.T) {
 	r := NewRing(0)
 	if len(r.buf) != 256 {
