@@ -118,25 +118,94 @@ func (s *Server) recv(t *sched.Thread, conn *net.Socket, buf mem.BufRef) (int, e
 	return n, err
 }
 
-// Run accepts one connection and drains it to EOF.
+// Run accepts one connection and drains it to EOF. When the netstack
+// compartment has a batch depth configured, the drain loop switches to
+// vectored receives: one recvmmsg-style crossing drains up to depth
+// buffers of the same rx burst.
 func (s *Server) Run(t *sched.Thread) error {
 	conn, buf, err := s.setup(t)
 	if err != nil {
 		return err
 	}
-	for {
-		n, err := s.recv(t, conn, buf)
-		if err == io.EOF {
-			break
+	if depth := s.env.BatchDepth("netstack"); depth > 1 {
+		if err := s.runBatched(t, conn, buf, depth); err != nil {
+			return err
 		}
-		if err != nil {
-			return fmt.Errorf("iperf server recv: %w", err)
+	} else {
+		for {
+			n, err := s.recv(t, conn, buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("iperf server recv: %w", err)
+			}
+			s.env.Charge(appWorkPerRecv)
+			s.BytesReceived += uint64(n)
+			s.Recvs++
 		}
-		s.env.Charge(appWorkPerRecv)
-		s.BytesReceived += uint64(n)
-		s.Recvs++
 	}
 	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+}
+
+// runBatched is the pipelined drain loop: each round hands depth
+// receive buffers to one vectored recv, which blocks for the first and
+// drains the rest of the burst non-blocking through a single batched
+// libc -> netstack crossing. bufs[0] is the caller's buffer (freed by
+// the caller); the extras are freed here after EOF.
+func (s *Server) runBatched(t *sched.Thread, conn *net.Socket, buf mem.BufRef, depth int) error {
+	// The vector is capped well above what one burst can deliver (the
+	// flow-control window) so deep configured depths don't tie up the
+	// shared window in idle receive buffers.
+	if depth > 16 {
+		depth = 16
+	}
+	bufs := make([]mem.BufRef, depth)
+	bufs[0] = buf
+	for i := 1; i < depth; i++ {
+		if err := s.call("malloc", 1, func() error {
+			var err error
+			bufs[i], err = s.libc.BufAlloc(s.RecvBuf)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	msgs := make([]libc.Msg, depth)
+	done := false
+	for !done {
+		for i := range msgs {
+			msgs[i] = libc.Msg{Buf: bufs[i]}
+		}
+		if err := s.call("recvmmsg", 3, func() error {
+			s.libc.RecvMsgBatch(t, conn, msgs)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("iperf server recvmmsg: %w", err)
+		}
+		for i := range msgs {
+			m := &msgs[i]
+			if m.Err == io.EOF {
+				done = true
+				break
+			}
+			if m.Err != nil {
+				return fmt.Errorf("iperf server recv: %w", m.Err)
+			}
+			if m.N == 0 && i > 0 {
+				break // the non-blocking drain emptied the queue
+			}
+			s.env.Charge(appWorkPerRecv)
+			s.BytesReceived += uint64(m.N)
+			s.Recvs++
+		}
+	}
+	for i := 1; i < depth; i++ {
+		if err := s.call("free", 1, func() error { return s.libc.BufFree(bufs[i]) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // account books one drain: good data pays the application processing
@@ -270,7 +339,10 @@ func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port ui
 	return &Client{env: env, libc: lc, stack: st, ServerIP: ip, ServerPort: port, Total: total, WriteSize: writeSize}
 }
 
-// Run connects, sends Total bytes, and closes the connection.
+// Run connects, sends Total bytes, and closes the connection. With a
+// batch depth on the netstack compartment the send loop pipelines:
+// each round queues up to depth WriteSize chunks into one vectored
+// sendmmsg-style crossing.
 func (c *Client) Run(t *sched.Thread) error {
 	var conn *net.Socket
 	err := c.env.CallFn("libc", "connect", 3, func() error {
@@ -281,40 +353,91 @@ func (c *Client) Run(t *sched.Thread) error {
 	if err != nil {
 		return fmt.Errorf("iperf client connect: %w", err)
 	}
-	var buf mem.BufRef
-	if err := c.env.CallFn("libc", "malloc", 1, func() error {
-		var err error
-		buf, err = c.libc.BufAlloc(c.WriteSize)
-		return err
-	}); err != nil {
-		return err
+	depth := c.env.BatchDepth("netstack")
+	if depth < 1 {
+		depth = 1
 	}
-	// Fill the payload pattern once.
-	if err := c.env.CallFn("libc", "memset", 3, func() error {
-		return c.libc.Memset(buf.Addr, 'x', c.WriteSize)
-	}); err != nil {
-		return err
+	// A vectored send's frames run in order and SendRef consumes its
+	// buffer before returning (the payload is serialized into segments,
+	// parking on the window if needed), so deep pipelines can cycle a
+	// small buffer ring instead of tying down depth x WriteSize of the
+	// shared window.
+	nbufs := depth
+	if nbufs > 8 {
+		nbufs = 8
+	}
+	bufs := make([]mem.BufRef, nbufs)
+	for i := range bufs {
+		if err := c.env.CallFn("libc", "malloc", 1, func() error {
+			var err error
+			bufs[i], err = c.libc.BufAlloc(c.WriteSize)
+			return err
+		}); err != nil {
+			return err
+		}
+		// Fill the payload pattern once per buffer.
+		if err := c.env.CallFn("libc", "memset", 3, func() error {
+			return c.libc.Memset(bufs[i].Addr, 'x', c.WriteSize)
+		}); err != nil {
+			return err
+		}
 	}
 	remaining := c.Total
-	for remaining > 0 {
-		chunk := c.WriteSize
-		if chunk > remaining {
-			chunk = remaining
+	if depth > 1 {
+		msgs := make([]libc.Msg, 0, depth)
+		for remaining > 0 {
+			msgs = msgs[:0]
+			budget := remaining
+			for i := 0; i < depth && budget > 0; i++ {
+				chunk := c.WriteSize
+				if chunk > budget {
+					chunk = budget
+				}
+				msgs = append(msgs, libc.Msg{Buf: bufs[i%nbufs], N: chunk})
+				budget -= chunk
+			}
+			if err := c.env.CallFn("libc", "sendmmsg", 3, func() error {
+				c.libc.SendMsgBatch(t, conn, msgs)
+				return nil
+			}); err != nil {
+				return fmt.Errorf("iperf client sendmmsg: %w", err)
+			}
+			sent := 0
+			for i := range msgs {
+				if msgs[i].Err != nil {
+					return fmt.Errorf("iperf client send: %w", msgs[i].Err)
+				}
+				sent += msgs[i].N
+			}
+			if sent == 0 {
+				return fmt.Errorf("iperf client: vectored send made no progress")
+			}
+			remaining -= sent
+			c.BytesSent += uint64(sent)
 		}
-		var n int
-		err := c.env.CallFn("libc", "send", 3, func() error {
-			var err error
-			n, err = c.libc.SendBuf(t, conn, buf, chunk)
-			return err
-		})
-		if err != nil {
-			return fmt.Errorf("iperf client send: %w", err)
+	} else {
+		for remaining > 0 {
+			chunk := c.WriteSize
+			if chunk > remaining {
+				chunk = remaining
+			}
+			var n int
+			err := c.env.CallFn("libc", "send", 3, func() error {
+				var err error
+				n, err = c.libc.SendBuf(t, conn, bufs[0], chunk)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("iperf client send: %w", err)
+			}
+			remaining -= n
+			c.BytesSent += uint64(n)
 		}
-		remaining -= n
-		c.BytesSent += uint64(n)
 	}
-	if err := c.env.CallFn("libc", "free", 1, func() error { return c.libc.BufFree(buf) }); err != nil {
-		return err
+	for i := range bufs {
+		if err := c.env.CallFn("libc", "free", 1, func() error { return c.libc.BufFree(bufs[i]) }); err != nil {
+			return err
+		}
 	}
 	return c.env.CallFn("libc", "close", 1, func() error { return c.libc.Close(t, conn) })
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"flexos/internal/clock"
+	"flexos/internal/core/gate"
 	"flexos/internal/fault"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
@@ -117,7 +118,14 @@ func (s *Server) Run(t *sched.Thread) error {
 // share the server's store but use per-connection buffers, so multiple
 // ServeConn threads may run concurrently.
 func (s *Server) ServeConn(t *sched.Thread, conn *net.Socket) error {
-	c := &connState{srv: s}
+	c := &connState{srv: s, depth: 1}
+	// Pipelined mode: with a batch depth on the compartment holding
+	// libc, bulk-reply payload copies defer and ride one batched
+	// crossing per pipeline instead of one crossing per reply. Enforce
+	// keeps per-command copies so the deadline covers each reply.
+	if d := s.env.BatchDepth("libc"); d > 1 && !s.Enforce {
+		c.depth = d
+	}
 	if err := c.allocBuffers(); err != nil {
 		return err
 	}
@@ -135,6 +143,74 @@ type connState struct {
 	// arrival is the wire-arrival stamp of the most recent recv — the
 	// moment the commands now sitting in the rx buffer hit the machine.
 	arrival uint64
+	// depth is the reply-copy batch depth (1 = copy per reply).
+	depth int
+	// pending are deferred bulk-reply payload copies, flushed through
+	// one batched app -> libc crossing before anything invalidates
+	// their sources (rx compaction, store mutation) or reads their
+	// destination (the tx send).
+	pending []pendingCopy
+}
+
+// pendingCopy is one deferred bulk-reply payload copy.
+type pendingCopy struct {
+	dst mem.Addr
+	src mem.Addr
+	n   int
+	// off is dst's tx-buffer offset, for overload rollback.
+	off int
+}
+
+// flushCopies materializes the deferred reply copies, depth at a time,
+// each chunk riding a single batched app -> libc crossing.
+func (c *connState) flushCopies() error {
+	s := c.srv
+	if len(c.pending) == 0 {
+		return nil
+	}
+	pend := c.pending
+	c.pending = c.pending[:0]
+	for start := 0; start < len(pend); start += c.depth {
+		end := start + c.depth
+		if end > len(pend) {
+			end = len(pend)
+		}
+		chunk := pend[start:end]
+		if len(chunk) == 1 {
+			p := chunk[0]
+			if err := s.call("memcpy", 3, func() error {
+				return s.lc.Memcpy(p.dst, p.src, p.n)
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		calls := make([]rt.BatchCall, len(chunk))
+		for i, p := range chunk {
+			calls[i] = rt.BatchCall{
+				Frame: gate.CallFrame{ArgWords: 3},
+				Fn:    func() error { return s.lc.Memcpy(p.dst, p.src, p.n) },
+			}
+		}
+		for _, err := range s.env.CallBatch("libc", "memcpy", calls) {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropCopies discards deferred copies at or past tx offset off — the
+// rollback companion of the -BUSY reply path.
+func (c *connState) dropCopies(off int) {
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.off < off {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
 }
 
 func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
@@ -144,6 +220,9 @@ func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
 	// real Redis output buffer — essential under pipelined clients.
 	txOff := 0
 	flush := func() error {
+		if err := c.flushCopies(); err != nil {
+			return err
+		}
 		if txOff == 0 {
 			return nil
 		}
@@ -159,102 +238,116 @@ func (c *connState) serve(t *sched.Thread, conn *net.Socket) error {
 		if err != nil {
 			return err
 		}
-		spans, consumed, perr := parseCommandSpans(view)
-		if errors.Is(perr, errIncomplete) {
-			if err := flush(); err != nil {
-				return fmt.Errorf("redis server send: %w", err)
+		// Drain every complete command already buffered before touching
+		// the socket again — the pipelined fast path. base tracks the
+		// consumed prefix; compaction happens once per burst, after the
+		// deferred reply copies (which read the rx buffer in place) have
+		// been flushed.
+		base := 0
+		for {
+			spans, consumed, perr := parseCommandSpans(view[base:c.rxLen])
+			if errors.Is(perr, errIncomplete) {
+				break
 			}
-			if c.rxLen == s.bufSize {
-				return fmt.Errorf("redis server: request exceeds %d bytes", s.bufSize)
+			// Protocol parse work is application code.
+			s.env.Charge(clock.RESPParseCycles(max(consumed, 1)))
+			s.env.Hard.OnFrame()
+			s.env.Hard.OnTouch(max(consumed, 1))
+			if perr != nil {
+				n, werr := c.writeError(txOff, fmt.Sprintf("ERR protocol error: %v", perr))
+				if werr != nil {
+					return werr
+				}
+				txOff = n
+				if err := flush(); err != nil {
+					return fmt.Errorf("redis server send: %w", err)
+				}
+				return fmt.Errorf("redis server: %v", perr)
 			}
-			var n int
-			err := s.call("recv", 3, func() error {
+			preOff := txOff
+			exec := func() error {
 				var err error
-				n, err = s.lc.Recv(t, conn, c.rx+mem.Addr(c.rxLen), s.bufSize-c.rxLen)
-				return err
-			})
-			if err == io.EOF {
-				return nil
-			}
-			if err != nil {
-				return fmt.Errorf("redis server recv: %w", err)
-			}
-			c.rxLen += n
-			c.arrival = conn.LastRxArrival()
-			continue
-		}
-		// Protocol parse work is application code.
-		s.env.Charge(clock.RESPParseCycles(max(consumed, 1)))
-		s.env.Hard.OnFrame()
-		s.env.Hard.OnTouch(max(consumed, 1))
-		if perr != nil {
-			n, werr := c.writeError(txOff, fmt.Sprintf("ERR protocol error: %v", perr))
-			if werr != nil {
-				return werr
-			}
-			txOff = n
-			if err := flush(); err != nil {
-				return fmt.Errorf("redis server send: %w", err)
-			}
-			return fmt.Errorf("redis server: %v", perr)
-		}
-		preOff := txOff
-		exec := func() error {
-			var err error
-			txOff, err = c.execute(spans, view, txOff)
-			return err
-		}
-		var xerr error
-		if s.Enforce && s.Budget != 0 && c.arrival != 0 {
-			// Everything the command does past this point — store
-			// crossings, the reply's libc memcpy — runs under the
-			// request's deadline, so the control plane sheds work whose
-			// answer would be worthless anyway.
-			xerr = s.env.WithDeadline(t, c.arrival+s.Budget, exec)
-		} else {
-			xerr = exec()
-		}
-		switch {
-		case fault.IsOverload(xerr):
-			// Roll back any partial reply (bulkReply writes its "$n"
-			// header before the payload crossing that shed) and answer
-			// -BUSY like real Redis under overload. The error reply is
-			// protocol scaffolding: written in app code, no crossing, so
-			// it cannot itself be shed.
-			txOff = preOff
-			if txOff, err = c.writeGo(preOff, appendError(nil, "BUSY overload shed")); err != nil {
+				txOff, err = c.execute(spans, view[base:c.rxLen], base, txOff)
 				return err
 			}
-			s.Shed++
-		case xerr != nil:
-			return xerr
-		default:
-			s.Commands++
-			if c.arrival != 0 {
-				if age := s.env.CPU.Cycles() - c.arrival; age > s.MaxAge {
-					s.MaxAge = age
+			var xerr error
+			if s.Enforce && s.Budget != 0 && c.arrival != 0 {
+				// Everything the command does past this point — store
+				// crossings, the reply's libc memcpy — runs under the
+				// request's deadline, so the control plane sheds work whose
+				// answer would be worthless anyway.
+				xerr = s.env.WithDeadline(t, c.arrival+s.Budget, exec)
+			} else {
+				xerr = exec()
+			}
+			switch {
+			case fault.IsOverload(xerr):
+				// Roll back any partial reply (bulkReply writes its "$n"
+				// header before the payload crossing that shed) and answer
+				// -BUSY like real Redis under overload. The error reply is
+				// protocol scaffolding: written in app code, no crossing, so
+				// it cannot itself be shed.
+				c.dropCopies(preOff)
+				txOff = preOff
+				if txOff, err = c.writeGo(preOff, appendError(nil, "BUSY overload shed")); err != nil {
+					return err
+				}
+				s.Shed++
+			case xerr != nil:
+				return xerr
+			default:
+				s.Commands++
+				if c.arrival != 0 {
+					if age := s.env.CPU.Cycles() - c.arrival; age > s.MaxAge {
+						s.MaxAge = age
+					}
+				}
+				if s.Budget != 0 && c.arrival != 0 && s.env.CPU.Cycles() > c.arrival+s.Budget {
+					s.Late++
+				} else if s.Budget != 0 {
+					s.Good++
 				}
 			}
-			if s.Budget != 0 && c.arrival != 0 && s.env.CPU.Cycles() > c.arrival+s.Budget {
-				s.Late++
-			} else if s.Budget != 0 {
-				s.Good++
+			base += consumed
+			// Flush early if the next reply might not fit.
+			if txOff > s.bufSize/2 {
+				if err := flush(); err != nil {
+					return fmt.Errorf("redis server send: %w", err)
+				}
 			}
 		}
-		// Flush early if the next reply might not fit.
-		if txOff > s.bufSize/2 {
-			if err := flush(); err != nil {
-				return fmt.Errorf("redis server send: %w", err)
-			}
+		// Deferred copies read the rx buffer in place: materialize them
+		// before the consumed prefix is compacted away.
+		if err := c.flushCopies(); err != nil {
+			return err
 		}
-		// Compact the consumed prefix.
-		if consumed > 0 {
-			if remain := c.rxLen - consumed; remain > 0 {
+		if base > 0 {
+			if remain := c.rxLen - base; remain > 0 {
 				s.env.Charge(clock.CopyCycles(remain))
-				copy(view, view[consumed:c.rxLen])
+				copy(view, view[base:c.rxLen])
 			}
-			c.rxLen -= consumed
+			c.rxLen -= base
 		}
+		if err := flush(); err != nil {
+			return fmt.Errorf("redis server send: %w", err)
+		}
+		if c.rxLen == s.bufSize {
+			return fmt.Errorf("redis server: request exceeds %d bytes", s.bufSize)
+		}
+		var n int
+		rerr := s.call("recv", 3, func() error {
+			var err error
+			n, err = s.lc.Recv(t, conn, c.rx+mem.Addr(c.rxLen), s.bufSize-c.rxLen)
+			return err
+		})
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("redis server recv: %w", rerr)
+		}
+		c.rxLen += n
+		c.arrival = conn.LastRxArrival()
 	}
 }
 
@@ -304,7 +397,10 @@ func (c *connState) writeGo(off int, b []byte) (int, error) {
 	return off + len(b), nil
 }
 
-// writeVal moves stored payload into the reply through LibC.
+// writeVal moves stored payload into the reply through LibC. In
+// pipelined mode the copy defers: the reply slot is reserved now and
+// materialized by the next flushCopies, so a whole pipeline's payload
+// copies share batched crossings.
 func (c *connState) writeVal(off int, addr mem.Addr, n int) (int, error) {
 	s := c.srv
 	if off+n > s.bufSize {
@@ -312,6 +408,10 @@ func (c *connState) writeVal(off int, addr mem.Addr, n int) (int, error) {
 	}
 	if n == 0 {
 		return off, nil
+	}
+	if c.depth > 1 {
+		c.pending = append(c.pending, pendingCopy{dst: c.tx + mem.Addr(off), src: addr, n: n, off: off})
+		return off + n, nil
 	}
 	err := s.call("memcpy", 3, func() error {
 		return s.lc.Memcpy(c.tx+mem.Addr(off), addr, n)
@@ -324,13 +424,23 @@ func (c *connState) writeError(off int, msg string) (int, error) {
 }
 
 // execute runs one parsed command, appending the reply to the tx
-// buffer at off and returning the new offset.
-func (c *connState) execute(spans [][2]int, view []byte, off int) (int, error) {
+// buffer at off and returning the new offset. view is the unparsed
+// rx-buffer suffix the spans index into; rxOff is its offset within
+// the rx buffer.
+func (c *connState) execute(spans [][2]int, view []byte, rxOff int, off int) (int, error) {
 	s := c.srv
 	arg := func(i int) []byte { return view[spans[i][0] : spans[i][0]+spans[i][1]] }
-	argAddr := func(i int) mem.Addr { return c.rx + mem.Addr(spans[i][0]) }
+	argAddr := func(i int) mem.Addr { return c.rx + mem.Addr(rxOff+spans[i][0]) }
 	nargs := len(spans)
 	name := asciiUpper(arg(0))
+	// Deferred reply copies may reference store memory a mutation is
+	// about to free or overwrite: materialize them first.
+	switch name {
+	case "SET", "DEL", "INCR", "DECR", "INCRBY", "APPEND", "FLUSHALL":
+		if err := c.flushCopies(); err != nil {
+			return 0, err
+		}
+	}
 
 	wrongArgs := func() (int, error) {
 		return c.writeError(off, fmt.Sprintf("ERR wrong number of arguments for '%s' command", name))

@@ -185,6 +185,22 @@ const (
 	// because no queue accounting is touched.
 	CostBreakerFastFail = 40
 
+	// CostBatchDispatch is dispatching one frame of an already-entered
+	// batched gate call: reading the frame descriptor off the batch ring
+	// and indirect-calling the target function. The whole point of
+	// CallBatch is that N frames pay one CrossingCost plus N of these —
+	// so it must stay far below every isolating backend's crossing cost
+	// (compare CostWRPKRU=60, CostVMNotify=2500).
+	CostBatchDispatch = 12
+
+	// CostNICCoalescedPacket is the per-packet driver cost of the
+	// second and later frames of a coalesced NIC batch (NAPI-style rx
+	// polling, tx doorbell batching): descriptor-ring bookkeeping only,
+	// with the interrupt/doorbell fixed cost already paid by the first
+	// frame of the batch (compare the ~800-cycle full per-packet
+	// platform cost in net.perPacketPlatformCycles).
+	CostNICCoalescedPacket = 240
+
 	// CostDictOpFixed is the Redis dict lookup/insert fixed cost.
 	CostDictOpFixed = 120
 

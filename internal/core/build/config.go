@@ -153,6 +153,11 @@ type Config struct {
 	// (configfile directive "breaker <comp> <threshold> <window>
 	// <cooldown>"). Compartments absent from the map never open.
 	Breaker map[string]rt.BreakerSpec
+	// Batch maps compartment name -> gate-call batch depth (configfile
+	// directive "batch <comp> <depth>"): calls crossing INTO the named
+	// compartment may be vectored up to depth frames per crossing.
+	// Compartments absent from the map dispatch one call per crossing.
+	Batch map[string]int
 }
 
 // DefaultLibraries is the library set of the canonical six-library
@@ -300,6 +305,16 @@ func normalize(cfg *Config) ([]Compartment, error) {
 		if spec.Threshold <= 0 || spec.Window <= 0 || spec.Threshold > spec.Window {
 			return nil, fmt.Errorf("build: breaker for compartment %q wants 0 < threshold <= window, got %d/%d",
 				comp, spec.Threshold, spec.Window)
+		}
+	}
+	for comp, depth := range cfg.Batch {
+		if !names[comp] {
+			return nil, fmt.Errorf("build: batch depth for unknown compartment %q", comp)
+		}
+		// Depth 1 is the default (one call per crossing); the directive
+		// parser elides it, so a stored entry must actually batch.
+		if depth < 2 {
+			return nil, fmt.Errorf("build: batch depth for compartment %q wants >= 2, got %d", comp, depth)
 		}
 	}
 	// MPK shares the hardware's 16 protection keys; one is the shared

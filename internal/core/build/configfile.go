@@ -33,6 +33,7 @@ import (
 //	onfault <compartment> <abort|restart|degrade>
 //	overload <compartment> <queue-depth> <shed|block|deadline>
 //	breaker <compartment> <threshold> <window> <cooldown-cycles>
+//	batch <compartment> <depth>
 
 // ParseConfig parses configuration-file source into a Config.
 func ParseConfig(src string) (Config, error) {
@@ -252,6 +253,24 @@ func applyDirective(cfg *Config, fields []string) error {
 		} else {
 			cfg.Breaker[args[0]] = rt.BreakerSpec{Threshold: threshold, Window: window, Cooldown: cooldown}
 		}
+	case "batch":
+		if err := need(2); err != nil {
+			return err
+		}
+		depth, err := strconv.Atoi(args[1])
+		if err != nil || depth < 1 {
+			return fmt.Errorf("batch wants a depth >= 1, got %q", args[1])
+		}
+		if cfg.Batch == nil {
+			cfg.Batch = make(map[string]int)
+		}
+		if depth == 1 {
+			// Depth 1 dispatches one call per crossing: back to the
+			// default, entry dropped (cf. onfault abort).
+			delete(cfg.Batch, args[0])
+		} else {
+			cfg.Batch[args[0]] = depth
+		}
 	default:
 		return fmt.Errorf("unknown directive %q", dir)
 	}
@@ -355,6 +374,14 @@ func FormatConfig(cfg Config) string {
 	for _, comp := range broken {
 		spec := cfg.Breaker[comp]
 		fmt.Fprintf(&b, "breaker %s %d %d %d\n", comp, spec.Threshold, spec.Window, spec.Cooldown)
+	}
+	batched := make([]string, 0, len(cfg.Batch))
+	for comp := range cfg.Batch {
+		batched = append(batched, comp)
+	}
+	sort.Strings(batched)
+	for _, comp := range batched {
+		fmt.Fprintf(&b, "batch %s %d\n", comp, cfg.Batch[comp])
 	}
 	return b.String()
 }

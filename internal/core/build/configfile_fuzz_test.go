@@ -19,6 +19,9 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("backend mpk-switched\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n" +
 		"overload nw 8 shed\noverload nw 0 deadline\nbreaker nw 4 256 40000\n")
 	f.Add("overload nw -1 block\nbreaker nw 999 1 18446744073709551615\n")
+	f.Add("backend vm-rpc\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n" +
+		"batch nw 16\nbatch core 4\nbatch nw 1\n")
+	f.Add("batch nw 0\nbatch nw -7\nbatch nw lots\nbatch nw\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		cfg, err := ParseConfig(src)
 		if err != nil {

@@ -322,6 +322,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 			Hard:       hard,
 			Sup:        m.Sup,
 			Cur:        s.Current,
+			Batching:   cfg.Batch,
 		}
 	}
 
@@ -334,6 +335,15 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	}
 	if cfg.DataPath != 0 {
 		netCfg.DataPath = cfg.DataPath
+	}
+	// The batch directive reaches the NIC model too: a depth on the
+	// compartment holding "rest" (the drivers) batches tx doorbells,
+	// a depth on the netstack compartment sets the NAPI rx poll budget.
+	if d := cfg.Batch[comps[compOf["rest"]].Name]; d > 0 {
+		netCfg.TxBatch = d
+	}
+	if d := cfg.Batch[comps[compOf["netstack"]].Name]; d > 0 {
+		netCfg.RxBudget = d
 	}
 	netCfg.RestHard = m.envs["rest"].Hard
 	m.Stack = net.NewStack(m.envs["netstack"], m.LibC, s, netCfg)

@@ -100,15 +100,11 @@ func TestTransferPolicyPerBackend(t *testing.T) {
 	}
 }
 
-// TestCrossingCostMatchesGateCharge keeps the explorer's static cost
-// table honest: for every backend, an empty-frame Gate.Call through the
-// real gate must charge exactly CrossingCost(b) — any per-word or
-// fixed-cost drift between the estimator and the implementation shows
-// up here.
-func TestCrossingCostMatchesGateCharge(t *testing.T) {
+// testGates builds one real gate per backend over a shared arena and
+// clock, with the CHERI entry capabilities both test domains need.
+func testGates(t *testing.T, cpu *clock.CPU, a, b *Domain) map[Backend]Gate {
+	t.Helper()
 	arena := mem.NewArena(16 * mem.PageSize)
-	cpu := clock.New()
-	a, b := NewDomain("a", 1), NewDomain("b", 2)
 
 	cm := cheri.New(arena, cpu)
 	cg := NewCHERI(cm, cpu)
@@ -131,13 +127,24 @@ func TestCrossingCostMatchesGateCharge(t *testing.T) {
 		}
 	}
 
-	gates := map[Backend]Gate{
+	return map[Backend]Gate{
 		FuncCall:    NewFuncCall(cpu),
 		MPKShared:   NewMPKShared(mpk.New(arena, cpu), cpu),
 		MPKSwitched: NewMPKSwitched(mpk.New(arena, cpu), cpu),
 		VMRPC:       NewVMRPC(cpu, nil),
 		CHERI:       cg,
 	}
+}
+
+// TestCrossingCostMatchesGateCharge keeps the explorer's static cost
+// table honest: for every backend, an empty-frame Gate.Call through the
+// real gate must charge exactly CrossingCost(b) — any per-word or
+// fixed-cost drift between the estimator and the implementation shows
+// up here.
+func TestCrossingCostMatchesGateCharge(t *testing.T) {
+	cpu := clock.New()
+	a, b := NewDomain("a", 1), NewDomain("b", 2)
+	gates := testGates(t, cpu, a, b)
 	for _, backend := range declaredBackends(t) {
 		g, ok := gates[backend]
 		if !ok {
@@ -151,6 +158,83 @@ func TestCrossingCostMatchesGateCharge(t *testing.T) {
 		if got, want := cpu.Cycles(), CrossingCost(backend); got != want {
 			t.Errorf("%v: empty-frame Gate.Call charged %d cycles, CrossingCost reports %d",
 				backend, got, want)
+		}
+	}
+}
+
+// TestBatchCrossingCostMatchesGateCharge extends the consistency
+// check to the batched path: for every backend, carrying N empty
+// frames must charge exactly BatchCrossingCost(b, N) — one crossing
+// plus N dispatches where the gate implements BatchGate, N full
+// crossings where Registry.CallBatch would fall back to a loop. Drift
+// between the estimator and the batch implementation (a forgotten
+// dispatch charge, a double-paid crossing) shows up here.
+func TestBatchCrossingCostMatchesGateCharge(t *testing.T) {
+	const depth = 8
+	cpu := clock.New()
+	a, b := NewDomain("a", 1), NewDomain("b", 2)
+	gates := testGates(t, cpu, a, b)
+	frames := make([]CallFrame, depth)
+	fns := make([]func() error, depth)
+	ran := 0
+	for i := range fns {
+		fns[i] = func() error { ran++; return nil }
+	}
+	for _, backend := range declaredBackends(t) {
+		g, ok := gates[backend]
+		if !ok {
+			t.Errorf("no gate under test for backend %v", backend)
+			continue
+		}
+		cpu.Reset()
+		ran = 0
+		if bg, isBatch := g.(BatchGate); isBatch {
+			for i, err := range bg.CallBatch(a, b, frames, fns) {
+				if err != nil {
+					t.Fatalf("%v: frame %d: %v", backend, i, err)
+				}
+			}
+		} else {
+			// The Registry falls back to this loop for gates without
+			// native batch support.
+			for _, fn := range fns {
+				if err := g.Call(a, b, CallFrame{}, fn); err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+			}
+		}
+		if ran != depth {
+			t.Errorf("%v: %d of %d frames ran", backend, ran, depth)
+		}
+		if got, want := cpu.Cycles(), BatchCrossingCost(backend, depth); got != want {
+			t.Errorf("%v: %d-frame CallBatch charged %d cycles, BatchCrossingCost reports %d",
+				backend, depth, got, want)
+		}
+	}
+}
+
+// TestBatchCrossingCostDegenerateCases pins the estimator's edges: a
+// non-positive batch is free, and from depth 2 up — the minimum the
+// config layer accepts — a batch never costs more than the same calls
+// made one at a time, so the planner never ranks batching as a
+// pessimization. (Depth 1 would lose the dispatch overhead on the
+// amortizing backends, which is exactly why `batch <comp> 1` is
+// elided back to the scalar path.)
+func TestBatchCrossingCostDegenerateCases(t *testing.T) {
+	for _, b := range declaredBackends(t) {
+		if got := BatchCrossingCost(b, 0); got != 0 {
+			t.Errorf("BatchCrossingCost(%v, 0) = %d, want 0", b, got)
+		}
+		if got := BatchCrossingCost(b, -3); got != 0 {
+			t.Errorf("BatchCrossingCost(%v, -3) = %d, want 0", b, got)
+		}
+		for n := 2; n <= 64; n *= 2 {
+			batched := BatchCrossingCost(b, n)
+			scalar := uint64(n) * CrossingCost(b)
+			if batched > scalar {
+				t.Errorf("BatchCrossingCost(%v, %d) = %d exceeds %d scalar calls (%d)",
+					b, n, batched, n, scalar)
+			}
 		}
 	}
 }

@@ -153,6 +153,68 @@ func (r *Registry) CallWithFrame(fromLib, toLib, fnName string, frame CallFrame,
 	return r.cross.Call(r.domains[cf], r.domains[ct], frame, inner)
 }
 
+// CallBatch routes N cross-library calls to the same callee through
+// one crossing where the backend supports it. Same-compartment batches
+// and non-amortizing backends (direct, CHERI) degenerate to a loop of
+// single calls; the MPK and VM-RPC gates carry the whole batch through
+// one domain switch. The returned slice has one entry per frame (nil
+// for success) — per-frame semantics (observer, injector, trap
+// containment) are identical to N separate calls.
+func (r *Registry) CallBatch(fromLib, toLib, fnName string, frames []CallFrame, fns []func() error) []error {
+	errs := make([]error, len(frames))
+	fill := func(err error) []error {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	cf, ok := r.libs[fromLib]
+	if !ok {
+		return fill(fmt.Errorf("gate: caller library %q not assigned", fromLib))
+	}
+	ct, ok := r.libs[toLib]
+	if !ok {
+		return fill(fmt.Errorf("gate: callee library %q not assigned", toLib))
+	}
+	inners := make([]func() error, len(fns))
+	for i, fn := range fns {
+		if r.observer != nil && fnName != "" {
+			r.observer(fromLib, toLib, fnName)
+		}
+		inner := fn
+		if r.injector != nil {
+			inner = func() error {
+				r.injector.OnCall(toLib, ct, fnName)
+				return fn()
+			}
+		}
+		inners[i] = inner
+	}
+	if cf == ct {
+		for i := range frames {
+			errs[i] = r.direct.Call(r.domains[cf], r.domains[ct], frames[i], inners[i])
+		}
+		return errs
+	}
+	bg, amortized := r.cross.(BatchGate)
+	if !amortized {
+		for i := range frames {
+			r.pairCount[[2]string{cf, ct}]++
+			if r.tracer != nil {
+				r.tracer(cf, ct)
+			}
+			errs[i] = r.cross.Call(r.domains[cf], r.domains[ct], frames[i], inners[i])
+		}
+		return errs
+	}
+	// One physical crossing for the whole batch.
+	r.pairCount[[2]string{cf, ct}]++
+	if r.tracer != nil {
+		r.tracer(cf, ct)
+	}
+	return bg.CallBatch(r.domains[cf], r.domains[ct], frames, inners)
+}
+
 // Crossings reports the number of inter-compartment crossings between
 // the two compartments (directional).
 func (r *Registry) Crossings(fromComp, toComp string) uint64 {

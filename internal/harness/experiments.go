@@ -410,3 +410,95 @@ func DataPath(quick bool) (*DataPathResult, error) {
 	}
 	return out, nil
 }
+
+// --- Batching: gate-crossing amortization -----------------------------
+
+// BatchingPoint is one (depth, throughput) sample of a batching series.
+type BatchingPoint struct {
+	Depth        int
+	Mbps         float64
+	ServerCycles uint64
+	Crossings    uint64
+	ByComponent  map[clock.Component]uint64
+	// SpeedupPct is the throughput gain over the depth-1 point of the
+	// same series, in percent.
+	SpeedupPct float64
+}
+
+// BatchingSeries is one backend's depth sweep.
+type BatchingSeries struct {
+	Label   string
+	Backend gate.Backend
+	Points  []BatchingPoint
+}
+
+// BatchingResult is the crossing-amortization sweep: iperf throughput
+// as the batch depth grows, per isolation backend. Direct calls pay
+// (nearly) nothing per crossing, so their curve is flat and bounds how
+// much of each isolating backend's win is amortization rather than
+// workload restructuring.
+type BatchingResult struct {
+	Depths []int
+	Series []BatchingSeries
+}
+
+// BatchingDepths is the depth sweep of the batching experiment.
+func BatchingDepths(quick bool) []int {
+	if quick {
+		return []int{1, 16}
+	}
+	return []int{1, 4, 16, 64}
+}
+
+// batchingConfigs are the swept images: the same NW-only plan under a
+// free gate, the expensive MPK-switched gate, and the VM-RPC gate.
+func batchingConfigs() []build.Config {
+	return []build.Config{
+		{Name: "Direct NW-only", Compartments: build.NWOnly(),
+			Backend: gate.FuncCall, Alloc: build.AllocPerCompartment},
+		{Name: "MPK-Sw. NW-only", Compartments: build.NWOnly(),
+			Backend: gate.MPKSwitched, Alloc: build.AllocPerCompartment},
+		{Name: "VM RPC NW-only", Compartments: build.NWOnly(), Platform: net.Xen,
+			Backend: gate.VMRPC, Alloc: build.AllocPerCompartment},
+	}
+}
+
+// Batching measures how batched gate calls, NIC coalescing and
+// app-level pipelining amortize crossing cost: the same iperf transfer
+// at each batch depth, per backend. Depth d sets the batch directive on
+// both compartments — vectored socket calls cross into nw d frames at
+// a time, and the core compartment's tx doorbell/rx budget coalesce
+// the NIC path.
+func Batching(quick bool) (*BatchingResult, error) {
+	const (
+		total   = 2 << 20
+		recvBuf = 16 << 10
+	)
+	out := &BatchingResult{Depths: BatchingDepths(quick)}
+	for _, base := range batchingConfigs() {
+		s := BatchingSeries{Label: base.Name, Backend: base.Backend}
+		for _, depth := range out.Depths {
+			cfg := base
+			if depth > 1 {
+				cfg.Batch = map[string]int{"nw": depth, "core": depth}
+			}
+			r, err := RunIperf(cfg, total, recvBuf)
+			if err != nil {
+				return nil, fmt.Errorf("batching %s @%d: %w", base.Name, depth, err)
+			}
+			p := BatchingPoint{
+				Depth:        depth,
+				Mbps:         r.Gbps * 1000,
+				ServerCycles: r.ServerCycles,
+				Crossings:    r.Crossings,
+				ByComponent:  r.ByComponent,
+			}
+			if len(s.Points) > 0 && s.Points[0].Mbps > 0 {
+				p.SpeedupPct = (p.Mbps/s.Points[0].Mbps - 1) * 100
+			}
+			s.Points = append(s.Points, p)
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}

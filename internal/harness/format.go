@@ -138,6 +138,25 @@ func FormatBlastRadius(r *BlastRadiusResult) string {
 	return b.String()
 }
 
+// FormatBatching renders the crossing-amortization depth sweep.
+func FormatBatching(r *BatchingResult) string {
+	var b strings.Builder
+	b.WriteString("Batching: gate-crossing amortization, iperf throughput per batch depth\n")
+	fmt.Fprintf(&b, "%-16s %6s %12s %14s %10s %10s\n",
+		"image", "depth", "Mb/s", "server cycles", "crossings", "speedup")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			speedup := "-"
+			if p.Depth != r.Depths[0] {
+				speedup = fmt.Sprintf("%.1f%%", p.SpeedupPct)
+			}
+			fmt.Fprintf(&b, "%-16s %6d %12.1f %14d %10d %10s\n",
+				s.Label, p.Depth, p.Mbps, p.ServerCycles, p.Crossings, speedup)
+		}
+	}
+	return b.String()
+}
+
 // FormatDataPath renders the copy-vs-shared data-path comparison.
 func FormatDataPath(r *DataPathResult) string {
 	var b strings.Builder

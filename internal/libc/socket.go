@@ -5,6 +5,7 @@ import (
 	"flexos/internal/core/gate"
 	"flexos/internal/mem"
 	"flexos/internal/net"
+	"flexos/internal/rt"
 	"flexos/internal/sched"
 )
 
@@ -122,6 +123,111 @@ func (l *LibC) SendBuf(t *sched.Thread, s *net.Socket, b mem.BufRef, n int) (int
 		err = l.env.CallFn("netstack", "send", 3, do)
 	}
 	return sent, err
+}
+
+// Msg is one message of a vectored socket operation (recvmmsg/sendmmsg
+// style): the pool buffer it reads into or writes from, the byte count
+// requested (send) or transferred (filled in on return), and the
+// per-message outcome. Vectored ops keep per-message semantics — each
+// message is its own gate frame with its own error — but all messages
+// of one call ride a single crossing on amortizing backends.
+type Msg struct {
+	Buf mem.BufRef
+	N   int
+	Err error
+}
+
+// RecvMsgBatch receives into up to len(msgs) buffers through one
+// batched libc -> netstack crossing. The first message blocks like
+// Recv; the rest drain only what the same burst already delivered
+// (non-blocking), so a batch never waits for data beyond the first
+// message. Each message's N and Err are filled in place; processing
+// stops at the first error or empty non-blocking drain, leaving later
+// messages untouched (N=0, Err=nil). Every message still pays the
+// syscall-entry cost — batching amortizes crossings, not API work.
+func (l *LibC) RecvMsgBatch(t *sched.Thread, s *net.Socket, msgs []Msg) {
+	if len(msgs) == 0 {
+		return
+	}
+	share := l.env.SharesBufs("netstack")
+	stop := false
+	calls := make([]rt.BatchCall, len(msgs))
+	for i := range msgs {
+		l.env.Charge(clock.CostSyscallish)
+		l.env.Hard.OnFrame()
+		i, m := i, &msgs[i]
+		frame := gate.CallFrame{ArgWords: 3, RetWords: 1}
+		if share {
+			frame.Bufs = []mem.BufRef{m.Buf}
+		}
+		calls[i] = rt.BatchCall{Frame: frame, Fn: func() error {
+			if stop {
+				return nil
+			}
+			var err error
+			if i == 0 {
+				m.N, err = s.RecvRef(t, m.Buf)
+			} else {
+				m.N, err = s.TryRecvRef(t, m.Buf)
+			}
+			m.Err = err
+			if err != nil || (i > 0 && m.N == 0) {
+				stop = true
+			}
+			return err
+		}}
+	}
+	errs := l.env.CallBatch("netstack", "recv", calls)
+	// A frame the supervisor rejected (shed, open breaker, deadline)
+	// never ran its Fn; surface the typed error on the message.
+	for i, err := range errs {
+		if err != nil && msgs[i].Err == nil {
+			msgs[i].Err = err
+		}
+	}
+}
+
+// SendMsgBatch transmits len(msgs) messages (msgs[i].N bytes from
+// msgs[i].Buf) through one batched libc -> netstack crossing. N is
+// updated to the bytes actually sent and Err to the per-message
+// outcome; processing stops at the first failed message.
+func (l *LibC) SendMsgBatch(t *sched.Thread, s *net.Socket, msgs []Msg) {
+	if len(msgs) == 0 {
+		return
+	}
+	share := l.env.SharesBufs("netstack")
+	stop := false
+	calls := make([]rt.BatchCall, len(msgs))
+	for i := range msgs {
+		l.env.Charge(clock.CostSyscallish)
+		l.env.Hard.OnFrame()
+		m := &msgs[i]
+		frame := gate.CallFrame{ArgWords: 3, RetWords: 1}
+		if share {
+			frame.Bufs = []mem.BufRef{m.Buf}
+		}
+		calls[i] = rt.BatchCall{Frame: frame, Fn: func() error {
+			if stop {
+				m.N = 0
+				return nil
+			}
+			var err error
+			m.N, err = s.SendRef(t, m.Buf, m.N)
+			m.Err = err
+			if err != nil {
+				stop = true
+			}
+			return err
+		}}
+	}
+	errs := l.env.CallBatch("netstack", "send", calls)
+	for i, err := range errs {
+		if err != nil && msgs[i].Err == nil {
+			// The frame was rejected before dispatch: nothing was sent.
+			msgs[i].N = 0
+			msgs[i].Err = err
+		}
+	}
 }
 
 // Close shuts the connection down.

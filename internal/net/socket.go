@@ -134,6 +134,11 @@ type Socket struct {
 	delAckPending int
 	delAckTimer   *sched.Timer
 
+	// ackQueued marks a pending pure-ACK intent on the stack's doorbell
+	// queue (crossing amortization): resolved to one cumulative ACK at
+	// the next kick, or absorbed by an outgoing data segment.
+	ackQueued bool
+
 	// lastDrainAt is the arrival stamp of the head segment consumed by
 	// the most recent Recv (see LastRxArrival).
 	lastDrainAt uint64
@@ -258,9 +263,42 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 	// flow control, the receiver parks waiting for data, and the
 	// connection wedges silently.
 	if s.state == stEstablished && s.rcvWnd()-s.lastAdvWnd >= MSS {
-		st.sendFlags(s, flagACK)
+		st.sendAck(s)
 	}
 	return copied, err
+}
+
+// TryRecv is Recv without blocking: it drains whatever payload is
+// already queued and returns 0 (with a nil error) when nothing is.
+// The vectored recv path uses it for the frames after the first — one
+// blocking call establishes that a burst arrived, the rest of the
+// batch takes only what that burst already delivered.
+func (s *Socket) TryRecv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
+	if s.sockErr != nil {
+		return 0, s.sockErr
+	}
+	if len(s.rcvQ) == 0 {
+		if s.rcvEOF {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	return s.Recv(t, dst, n)
+}
+
+// TryRecvRef is TryRecv with the destination described by a pool
+// buffer descriptor (see RecvRef).
+func (s *Socket) TryRecvRef(t *sched.Thread, b mem.BufRef) (int, error) {
+	if s.sockErr != nil {
+		return 0, s.sockErr
+	}
+	if len(s.rcvQ) == 0 {
+		if s.rcvEOF {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	return s.RecvRef(t, b)
 }
 
 // RecvRef is Recv with the destination described by a pool buffer

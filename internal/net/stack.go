@@ -21,6 +21,13 @@ type Stats struct {
 	DroppedIn   uint64
 	DroppedOut  uint64
 	RSTsOut     uint64
+	// TxDoorbells counts doorbell flushes of the tx batch queue; the
+	// frames of one doorbell cross the driver boundary together.
+	TxDoorbells uint64
+	// AcksElided counts pure acknowledgements that never became frames:
+	// collapsed into a later cumulative ACK of the same rx burst, or
+	// piggybacked on an outgoing data segment.
+	AcksElided uint64
 }
 
 // connKey demultiplexes established connections.
@@ -65,6 +72,20 @@ type Config struct {
 	// builder wires it so that hardening "rest" instruments the
 	// driver's per-packet work (Table 1's fourth row).
 	RestHard *sh.Hardener
+	// TxBatch is the tx doorbell depth (the `batch rest <depth>`
+	// directive): outgoing frames queue until depth frames are pending,
+	// a kick point fires, or the stack is about to block, then cross the
+	// driver boundary together — the first frame of a doorbell pays the
+	// full per-packet platform cost, the rest only ring bookkeeping.
+	// <= 1 (the default) transmits every frame immediately.
+	TxBatch int
+	// RxBudget is the NAPI-style receive poll budget (the
+	// `batch netstack <depth>` directive): frames arriving in one wire
+	// batch are processed up to RxBudget per poll, with the interrupt
+	// cost paid once per poll and pure ACKs held so each touched socket
+	// acknowledges the whole burst once. <= 1 (the default) takes the
+	// per-frame interrupt path.
+	RxBudget int
 }
 
 // Stack is one machine's TCP/IP stack instance.
@@ -92,6 +113,14 @@ type Stack struct {
 	delAckTick uint64
 	dataPath   DataPath
 	copyTracer func(from, to string, n int)
+
+	// Crossing-amortization state (tx doorbell + rx coalescing).
+	txBatch   int
+	rxBudget  int
+	txq       [][]byte  // frames awaiting the next doorbell kick
+	ackq      []*Socket // sockets owing a pure ACK (intent, not frame)
+	inRxBatch bool      // inside a NAPI poll: hold pure ACKs
+	kicking   bool      // txKick re-entrancy guard
 
 	nextEphemeral uint16
 	isn           uint32
@@ -135,6 +164,8 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 		delayedAck:    cfg.DelayedAck,
 		delAckTick:    cfg.DelAckTicks,
 		dataPath:      cfg.DataPath,
+		txBatch:       cfg.TxBatch,
+		rxBudget:      cfg.RxBudget,
 		nextEphemeral: 49152,
 		isn:           1,
 	}
@@ -152,14 +183,115 @@ func (st *Stack) Env() *rt.Env { return st.env }
 
 func (st *Stack) attachNIC(n *NIC) { st.nic = n }
 
-// transmit hands a frame to the NIC; a stack with no link drops it
-// (a real device would not be up yet).
-func (st *Stack) transmit(frame []byte) {
+// transmitNow hands a frame to the NIC immediately; a stack with no
+// link drops it (a real device would not be up yet).
+func (st *Stack) transmitNow(frame []byte) {
 	if st.nic == nil {
 		st.stats.DroppedOut++
 		return
 	}
 	st.nic.transmit(frame)
+}
+
+// transmit hands a frame to the NIC, through the tx doorbell queue
+// when batching is configured: frames wait until the queue reaches the
+// doorbell depth or a kick point fires (end of an rx poll, a timer, or
+// the stack about to block — see semDown). Queued frames stay ordered;
+// connection-control frames bypass the queue via sendFlags, which
+// kicks it first to keep ordering.
+func (st *Stack) transmit(frame []byte) {
+	if st.txBatch <= 1 {
+		st.transmitNow(frame)
+		return
+	}
+	st.txq = append(st.txq, frame)
+	if len(st.txq) >= st.txBatch {
+		st.txKick()
+	}
+}
+
+// txKick rings the tx doorbell: pending ack intents resolve to at most
+// one cumulative ACK frame per socket, then every queued frame crosses
+// the driver boundary in one batch. Re-entrant kicks (the inline
+// delivery of a batch can land response frames that kick again) are
+// absorbed by the outer kick's loop.
+func (st *Stack) txKick() {
+	if st.kicking {
+		return
+	}
+	st.kicking = true
+	defer func() { st.kicking = false }()
+	for len(st.ackq) > 0 || len(st.txq) > 0 {
+		ackq := st.ackq
+		st.ackq = nil
+		for _, s := range ackq {
+			if !s.ackQueued {
+				continue // absorbed by a data segment or a collapse
+			}
+			s.ackQueued = false
+			if s.state == stClosed {
+				continue
+			}
+			_ = st.sendFlags(s, flagACK)
+		}
+		frames := st.txq
+		st.txq = nil
+		if len(frames) == 0 {
+			continue
+		}
+		if st.nic == nil {
+			st.stats.DroppedOut += uint64(len(frames))
+			continue
+		}
+		st.stats.TxDoorbells++
+		st.nic.transmitBatch(frames)
+	}
+}
+
+// ackDefer reports whether a pure acknowledgement should become an
+// intent rather than a frame: inside an rx poll (so the burst collapses
+// to one cumulative ACK per socket) or whenever the tx doorbell is
+// active (so a queued data segment can absorb it).
+func (st *Stack) ackDefer() bool { return st.inRxBatch || st.txBatch > 1 }
+
+// ackIntent records that s owes the peer a pure ACK; the next doorbell
+// kick resolves it. A socket already owing one collapses — TCP ACKs
+// are cumulative, so the later frame acknowledges everything.
+func (st *Stack) ackIntent(s *Socket) {
+	if s.ackQueued {
+		st.stats.AcksElided++
+		return
+	}
+	s.ackQueued = true
+	st.ackq = append(st.ackq, s)
+}
+
+// ackCancel absorbs a pending ack intent into an outgoing data segment
+// (which always carries Ack = rcvNxt): the piggyback path.
+func (st *Stack) ackCancel(s *Socket) {
+	if s.ackQueued {
+		s.ackQueued = false
+		st.stats.AcksElided++
+	}
+}
+
+// sendAck emits a pure acknowledgement, deferring to the doorbell's
+// ack intents when batching is active.
+func (st *Stack) sendAck(s *Socket) {
+	if st.ackDefer() {
+		st.ackIntent(s)
+		return
+	}
+	_ = st.sendFlags(s, flagACK)
+}
+
+// beginRxBatch / endRxBatch bracket one NAPI poll: pure ACKs are held
+// for the duration and flushed (collapsed per socket) with one doorbell
+// kick at the end.
+func (st *Stack) beginRxBatch() { st.inRxBatch = true }
+func (st *Stack) endRxBatch() {
+	st.inRxBatch = false
+	st.txKick()
 }
 
 // newSocket builds a socket with its LibC semaphores (created through
@@ -267,10 +399,20 @@ func (st *Stack) memcpyIn(dst, src mem.Addr, n int, own rxOwn) error {
 
 // semDown blocks on a LibC semaphore. The uncontended decrement works
 // on the shared counter inline; only blocking crosses into LibC (and
-// from there into the scheduler).
+// from there into the scheduler). A stack about to block first rings
+// the tx doorbell: a frame the peer needs to make progress (data, a
+// window update) must never sit in the queue while both ends park —
+// and since delivery is inline, the kick itself may produce the wake
+// this thread was about to sleep for, hence the second TryDown.
 func (st *Stack) semDown(t *sched.Thread, sem Sem) {
 	if sem.TryDown() {
 		return
+	}
+	if st.txBatch > 1 || len(st.txq) > 0 || len(st.ackq) > 0 {
+		st.txKick()
+		if sem.TryDown() {
+			return
+		}
 	}
 	_ = st.env.CallFn("libc", "sem_down", 2, func() error {
 		sem.Down(t)
@@ -326,12 +468,14 @@ func (st *Stack) sendData(s *Socket, src mem.Addr, n int) error {
 		return err
 	}
 	st.chargeTx(len(frame), n)
-	// Outgoing data piggybacks the acknowledgement.
+	// Outgoing data piggybacks the acknowledgement: delayed-ack state
+	// and any doorbell ack intent are absorbed by this segment's Ack.
 	if s.delAckTimer != nil {
 		s.delAckTimer.Stop()
 		s.delAckTimer = nil
 	}
 	s.delAckPending = 0
+	st.ackCancel(s)
 	s.sndNxt += uint32(n)
 	s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: h.Flags, frame: frame})
 	st.armRtx(s)
@@ -357,14 +501,19 @@ func (st *Stack) sendFlags(s *Socket, flags uint8) error {
 	}
 	st.chargeTx(len(frame), 0)
 	s.lastAdvWnd = s.rcvWnd()
+	st.stats.SegsOut++
 	if flags&(flagFIN|flagSYN) != 0 {
 		// SYN and FIN each consume a sequence number and are kept for
 		// retransmission.
 		s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: flags, frame: frame})
 		s.sndNxt++
 		st.armRtx(s)
+		// Handshake and teardown latency must not wait on a doorbell:
+		// flush the queue (keeping frame order) and go out immediately.
+		st.txKick()
+		st.transmitNow(frame)
+		return nil
 	}
-	st.stats.SegsOut++
 	st.transmit(frame)
 	return nil
 }
@@ -404,6 +553,9 @@ func (st *Stack) armRtx(s *Socket) {
 			st.chargeTx(len(r.frame), 0)
 			st.transmit(r.frame)
 		}
+		// Retransmissions ride one doorbell; the timer context has no
+		// blocking point to kick for them later.
+		st.txKick()
 		s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay<<uint(count), fire)
 	}
 	s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay, fire)
@@ -540,7 +692,9 @@ func (st *Stack) sendRST(h *header) {
 		return
 	}
 	st.chargeTx(len(frame), 0)
-	st.transmit(frame)
+	// A reset is a protocol error signal, not data: never doorbelled.
+	st.txKick()
+	st.transmitNow(frame)
 }
 
 // process advances an existing connection's state machine. The frame
@@ -664,9 +818,11 @@ func (st *Stack) processData(s *Socket, h *header, n int, own rxOwn) bool {
 
 // ackData acknowledges accepted payload: immediately by default, or
 // every second segment / after a short timeout under delayed acks.
+// Either way the acknowledgement goes through sendAck, so batching
+// stacks coalesce it with the rest of the burst.
 func (st *Stack) ackData(s *Socket) {
 	if !st.delayedAck {
-		_ = st.sendFlags(s, flagACK)
+		st.sendAck(s)
 		return
 	}
 	s.delAckPending++
@@ -679,17 +835,23 @@ func (st *Stack) ackData(s *Socket) {
 			s.delAckTimer = nil
 			if s.delAckPending > 0 {
 				st.flushAck(s)
+				// Timer context: nothing downstream will kick for us.
+				st.txKick()
 			}
 		})
 	}
 }
 
-// flushAck sends the pending acknowledgement now.
+// flushAck resolves the pending acknowledgement. It used to always
+// emit a standalone ACK frame; now it raises an ack intent whenever
+// batching is active, so an outgoing data segment queued before the
+// next doorbell kick carries the acknowledgement for free (piggyback)
+// and only a socket with no outgoing data pays a frame of its own.
 func (st *Stack) flushAck(s *Socket) {
 	if s.delAckTimer != nil {
 		s.delAckTimer.Stop()
 		s.delAckTimer = nil
 	}
 	s.delAckPending = 0
-	_ = st.sendFlags(s, flagACK)
+	st.sendAck(s)
 }

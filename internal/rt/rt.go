@@ -57,6 +57,12 @@ type Env struct {
 	// gate frame, which is how a budget set at the top of a request
 	// (WithBudget) propagates through nested cross-compartment calls.
 	Cur func() *sched.Thread
+	// Batching maps compartment name -> configured batch depth (the
+	// `batch <comp> <depth>` configfile directive): calls crossing into
+	// that compartment may be vectored up to depth frames per crossing.
+	// Absent entries (and any image without the directive) mean depth 1,
+	// i.e. no batching.
+	Batching map[string]int
 }
 
 // Charge attributes cycles to this library.
@@ -97,6 +103,69 @@ func (e *Env) route(to, fnName string, frame gate.CallFrame, fn func() error) er
 	return e.Sup.SuperviseCall(toComp, frame.Deadline, fromComp != toComp, func() error {
 		return e.Gates.CallWithFrame(e.Lib, to, fnName, frame, fn)
 	})
+}
+
+// BatchDepth reports how many frames a call from this library into lib
+// `to` may carry per crossing: the `batch` directive's depth for the
+// callee's compartment, 1 (no batching) when unconfigured. Callers use
+// it to size their vectored operations, so an image built without the
+// directive runs the exact unbatched code path.
+func (e *Env) BatchDepth(to string) int {
+	if len(e.Batching) == 0 {
+		return 1
+	}
+	comp, ok := e.Gates.CompartmentOf(to)
+	if !ok {
+		return 1
+	}
+	if d := e.Batching[comp]; d > 1 {
+		return d
+	}
+	return 1
+}
+
+// BatchCall is one frame of a vectored gate call: the gate frame and
+// the function it dispatches to in the callee.
+type BatchCall struct {
+	Frame gate.CallFrame
+	Fn    func() error
+}
+
+// CallBatch routes N calls to functions in lib `to` through one
+// crossing where the backend amortizes (MPK, VM-RPC; direct and CHERI
+// loop). Supervision — admission, breakers, fault policy — applies per
+// frame: the returned slice has one entry per call, and a shed, broken
+// or trapped frame fails alone while the rest of the batch completes.
+func (e *Env) CallBatch(to, fnName string, calls []BatchCall) []error {
+	frames := make([]gate.CallFrame, len(calls))
+	fns := make([]func() error, len(calls))
+	deadlines := make([]uint64, len(calls))
+	for i, c := range calls {
+		if c.Frame.Deadline == 0 {
+			c.Frame.Deadline = e.currentDeadline()
+		}
+		frames[i], fns[i], deadlines[i] = c.Frame, c.Fn, c.Frame.Deadline
+	}
+	if e.Sup == nil {
+		return e.Gates.CallBatch(e.Lib, to, fnName, frames, fns)
+	}
+	toComp, _ := e.Gates.CompartmentOf(to)
+	fromComp, _ := e.Gates.CompartmentOf(e.Lib)
+	return e.Sup.SuperviseBatch(toComp, deadlines, fromComp != toComp,
+		func(admitted []int) []error {
+			if len(admitted) == len(frames) {
+				return e.Gates.CallBatch(e.Lib, to, fnName, frames, fns)
+			}
+			subFrames := make([]gate.CallFrame, len(admitted))
+			subFns := make([]func() error, len(admitted))
+			for j, i := range admitted {
+				subFrames[j], subFns[j] = frames[i], fns[i]
+			}
+			return e.Gates.CallBatch(e.Lib, to, fnName, subFrames, subFns)
+		},
+		func(i int) error {
+			return e.Gates.CallWithFrame(e.Lib, to, fnName, frames[i], fns[i])
+		})
 }
 
 // currentDeadline reports the running thread's deadline (0 if no

@@ -163,7 +163,18 @@ func (s *Supervisor) SuperviseCall(toComp string, deadline uint64, crossing bool
 		defer release()
 	}
 	mark := s.mark()
-	err := call()
+	return s.settle(toComp, crossing, mark, call(), call)
+}
+
+// settle classifies one supervised call's outcome and applies toComp's
+// fault policy: breaker feedback on success, the cheap rejection path
+// for deadline misses, and the abort/restart/degrade machinery for
+// traps. retry replays the call for the restart policy; mark bounds
+// what teardown may reclaim. SuperviseCall settles every call through
+// here, and SuperviseBatch settles each frame of a batch — which is
+// what makes containment per-frame: one trapped frame reaches its own
+// settle with its own retry, the rest of the batch settles clean.
+func (s *Supervisor) settle(toComp string, crossing bool, mark mem.PoolMark, err error, retry func() error) error {
 	t, ok := fault.As(err)
 	if !ok || t.Comp != toComp {
 		if crossing {
@@ -202,7 +213,7 @@ func (s *Supervisor) SuperviseCall(toComp string, deadline uint64, crossing bool
 			s.stats.Retries++
 			s.trace("recover", toComp, fmt.Sprintf("restart attempt %d after %v", attempt, t.Kind))
 			mark = s.mark()
-			err = call()
+			err = retry()
 			if t2, again := fault.As(err); again && t2.Comp == toComp {
 				if crossing {
 					s.breakerFail(toComp)
@@ -238,6 +249,71 @@ func (s *Supervisor) SuperviseCall(toComp string, deadline uint64, crossing bool
 		s.stats.Aborts++
 		return t
 	}
+}
+
+// SuperviseBatch applies the supervisor's whole surface — degradation,
+// admission queues, circuit breakers, fault policy — *per frame* around
+// one batched gate crossing into toComp. deadlines carries one entry
+// per frame (0 = none); runBatch receives the indices of the admitted
+// frames and must return one error per admitted frame, in order; retry
+// replays a single frame solo (the restart policy re-crosses for just
+// that frame). The returned slice has one entry per original frame:
+// frames the admission queue or breaker rejected carry their typed
+// ShedError/BreakerOpenError (charged per-frame, exactly as if each had
+// been a separate call), and every admitted frame's outcome is settled
+// individually, so one trapped frame aborts or restarts alone.
+func (s *Supervisor) SuperviseBatch(toComp string, deadlines []uint64, crossing bool,
+	runBatch func(admitted []int) []error, retry func(i int) error) []error {
+	errs := make([]error, len(deadlines))
+	if t, down := s.degraded[toComp]; down {
+		for i := range errs {
+			errs[i] = &fault.DegradedError{Comp: toComp, Cause: t}
+		}
+		return errs
+	}
+	admitted := make([]int, 0, len(deadlines))
+	var releases []func()
+	if crossing {
+		for i, dl := range deadlines {
+			release, err := s.admit(toComp, dl)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			releases = append(releases, release)
+			admitted = append(admitted, i)
+		}
+	} else {
+		for i := range deadlines {
+			admitted = append(admitted, i)
+		}
+	}
+	// Slots release (and block-policy waiters wake) even if a frame
+	// panics past its trap boundary, for the same reason SuperviseCall
+	// defers its release.
+	defer func() {
+		for _, release := range releases {
+			release()
+		}
+	}()
+	if len(admitted) == 0 {
+		return errs
+	}
+	batchErrs := runBatch(admitted)
+	for j, i := range admitted {
+		var err error
+		if j < len(batchErrs) {
+			err = batchErrs[j]
+		}
+		frame := i
+		// Each frame settles against a mark taken now, after the batch
+		// ran: teardown of one trapped frame must never reclaim buffers
+		// that surviving frames of the same batch handed to their
+		// callers.
+		errs[i] = s.settle(toComp, crossing, s.mark(), err,
+			func() error { return retry(frame) })
+	}
+	return errs
 }
 
 // teardown reclaims what the faulted call left behind in comp: pool
