@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|all [-quick] [-ops N]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|smp|all [-quick] [-ops N]
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, smp, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	flag.Parse()
@@ -75,6 +75,12 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatBatching(r))
+		case "smp":
+			r, err := harness.Smp(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatSmp(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -84,7 +90,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching", "smp"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

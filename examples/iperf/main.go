@@ -23,7 +23,9 @@ func main() {
 	total := flag.Int("total", 4<<20, "bytes to transfer")
 	xen := flag.Bool("xen", false, "run on the Xen platform cost model")
 	shNet := flag.Bool("sh-netstack", false, "apply software hardening to the network stack")
-	traceN := flag.Int("trace", 0, "print the last N domain crossings")
+	traceN := flag.Int("trace", 0, "print the last N domain crossings (each line shows the vCPU it ran on)")
+	smp := flag.Int("smp", 1, "number of vCPUs (SMP machine with one RSS NIC queue per vCPU)")
+	streams := flag.Int("streams", 1, "parallel connections (iperf -P); forces the multi-stream path when > 1 or -smp > 1")
 	flag.Parse()
 
 	backend, err := flexos.ParseBackend(*backendName)
@@ -58,6 +60,28 @@ func main() {
 		cfg.Alloc = flexos.AllocPerLibrary
 	}
 
+	if *smp > 1 || *streams > 1 {
+		cfg.Smp = *smp
+		r, ring, err := flexos.RunIperfParallelTraced(cfg, *streams, *total, *buf, *traceN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iperf -P %d: %d bytes, recv buffer %d, backend %v, model %s, %d vCPUs\n",
+			r.Streams, r.Bytes, *buf, backend, *model, r.VCPUs)
+		fmt.Printf("  throughput: %.2f Gb/s (makespan %.2f ms)\n",
+			r.Mbps/1000, clock.Nanoseconds(r.Makespan)/1e6)
+		for i, c := range r.PerCPU {
+			fmt.Printf("  cpu%d: %12d cycles\n", i, c)
+		}
+		fmt.Printf("  steals: %d  ipis: %d", r.Steals, r.IPIs)
+		if r.RPCStalled > 0 {
+			fmt.Printf("  vmm-stall: %d cycles", r.RPCStalled)
+		}
+		fmt.Println()
+		printRing(ring)
+		return
+	}
+
 	res, ring, err := flexos.RunIperfTraced(cfg, *total, *buf, *traceN)
 	if err != nil {
 		log.Fatal(err)
@@ -72,22 +96,29 @@ func main() {
 		fmt.Printf("    %-10s %12d (%5.1f%%)\n", comp, cyc,
 			100*float64(cyc)/float64(res.ServerCycles))
 	}
-	if ring != nil {
-		fmt.Printf("  last %d of %d events:\n", ring.Len(), ring.Total())
-		for _, e := range ring.Events() {
-			fmt.Printf("    %s\n", e)
+	printRing(ring)
+}
+
+// printRing dumps a crossing trace (each line shows the vCPU the event
+// ran on) with its per-kind drop accounting.
+func printRing(ring *flexos.TraceRing) {
+	if ring == nil {
+		return
+	}
+	fmt.Printf("  last %d of %d events:\n", ring.Len(), ring.Total())
+	for _, e := range ring.Events() {
+		fmt.Printf("    %s\n", e)
+	}
+	if d := ring.Dropped(); d > 0 {
+		fmt.Printf("  (%d older events overwritten; raise -trace to keep more)\n", d)
+		by := ring.DroppedByKind()
+		kinds := make([]string, 0, len(by))
+		for kind := range by {
+			kinds = append(kinds, kind)
 		}
-		if d := ring.Dropped(); d > 0 {
-			fmt.Printf("  (%d older events overwritten; raise -trace to keep more)\n", d)
-			by := ring.DroppedByKind()
-			kinds := make([]string, 0, len(by))
-			for kind := range by {
-				kinds = append(kinds, kind)
-			}
-			sort.Strings(kinds)
-			for _, kind := range kinds {
-				fmt.Printf("    dropped %-12s %d\n", kind, by[kind])
-			}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			fmt.Printf("    dropped %-12s %d\n", kind, by[kind])
 		}
 	}
 }

@@ -211,6 +211,7 @@ type (
 	IperfResult = harness.IperfResult
 	RedisResult = harness.RedisResult
 	RedisOp     = harness.RedisOp
+	SmpRun      = harness.SmpRun
 )
 
 // Redis operations.
@@ -231,6 +232,19 @@ type TraceRing = trace.Ring
 // to traceCap events (0 disables tracing).
 func RunIperfTraced(cfg Config, totalBytes, recvBuf, traceCap int) (*IperfResult, *TraceRing, error) {
 	return harness.RunIperfTraced(cfg, totalBytes, recvBuf, traceCap)
+}
+
+// RunIperfParallel runs a multi-stream iperf transfer (iperf -P) on an
+// SMP machine (cfg.Smp vCPUs) and measures makespan throughput.
+func RunIperfParallel(cfg Config, streams, totalBytes, recvBuf int) (*SmpRun, error) {
+	return harness.RunIperfParallel(cfg, streams, totalBytes, recvBuf)
+}
+
+// RunIperfParallelTraced is RunIperfParallel with a server-side
+// crossing trace of up to traceCap events (0 disables tracing); each
+// event records the vCPU it ran on.
+func RunIperfParallelTraced(cfg Config, streams, totalBytes, recvBuf, traceCap int) (*SmpRun, *TraceRing, error) {
+	return harness.RunIperfParallelTraced(cfg, streams, totalBytes, recvBuf, traceCap)
 }
 
 // RunRedis measures Redis request throughput for a configuration.

@@ -127,23 +127,46 @@ func (s *Server) Run(t *sched.Thread) error {
 	if err != nil {
 		return err
 	}
+	if err := s.drainConn(t, conn, buf); err != nil {
+		return err
+	}
+	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+}
+
+// drainConn drains one established connection to EOF into buf, using
+// the vectored path when the netstack compartment has a batch depth.
+func (s *Server) drainConn(t *sched.Thread, conn *net.Socket, buf mem.BufRef) error {
 	if depth := s.env.BatchDepth("netstack"); depth > 1 {
-		if err := s.runBatched(t, conn, buf, depth); err != nil {
-			return err
+		return s.runBatched(t, conn, buf, depth)
+	}
+	for {
+		n, err := s.recv(t, conn, buf)
+		if err == io.EOF {
+			return nil
 		}
-	} else {
-		for {
-			n, err := s.recv(t, conn, buf)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return fmt.Errorf("iperf server recv: %w", err)
-			}
-			s.env.Charge(appWorkPerRecv)
-			s.BytesReceived += uint64(n)
-			s.Recvs++
+		if err != nil {
+			return fmt.Errorf("iperf server recv: %w", err)
 		}
+		s.env.Charge(appWorkPerRecv)
+		s.BytesReceived += uint64(n)
+		s.Recvs++
+	}
+}
+
+// ServeConn drains one already-accepted connection to EOF with a fresh
+// recv buffer. Multi-stream servers accept centrally and hand each
+// connection to a worker running this on its own thread.
+func (s *Server) ServeConn(t *sched.Thread, conn *net.Socket) error {
+	var buf mem.BufRef
+	if err := s.call("malloc", 1, func() error {
+		var err error
+		buf, err = s.libc.BufAlloc(s.RecvBuf)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := s.drainConn(t, conn, buf); err != nil {
+		return err
 	}
 	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
 }

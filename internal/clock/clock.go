@@ -6,6 +6,15 @@
 // derived from the virtual cycle counter, never from wall-clock time, so
 // experiments are deterministic and hardware independent.
 //
+// The time base comes in two granularities. A standalone CPU is one
+// virtual processor with its own cycle counter. A Machine is N vCPUs
+// sharing one time domain: threads and interrupt work charge the vCPU
+// they run on, and the scheduler's conservative discrete-event
+// interleaver always resumes the runnable vCPU with the lowest cycle
+// count (ties broken by ascending vCPU id), so an SMP run is
+// bit-reproducible with no Go-level concurrency. A machine's elapsed
+// time is its makespan — the maximum over its vCPU counters.
+//
 // The clock also keeps a per-component attribution of charged cycles.
 // This is what makes Table 1 of the paper (software hardening applied to
 // one micro-library at a time) reproducible: the share of total work a
@@ -40,6 +49,10 @@ const (
 	CompVMM   Component = "vmm"
 	CompCopy  Component = "copy"
 	CompFault Component = "fault"
+	// CompIdle attributes the cycles an idle vCPU's counter is
+	// fast-forwarded by when a cross-CPU wake arrives from a vCPU whose
+	// clock is ahead: waiting, not work.
+	CompIdle Component = "idle"
 )
 
 // Hz is the frequency of the simulated CPU. The paper's testbed is a
@@ -47,18 +60,23 @@ const (
 const Hz = 2_100_000_000
 
 // CPU is a virtual processor: a cycle counter plus a per-component
-// breakdown of where those cycles went. The zero value is ready to use.
+// breakdown of where those cycles went. The zero value is ready to use
+// as a standalone single-core time domain; NewMachine builds vCPUs that
+// share a Machine.
 //
-// CPU is not safe for concurrent use; the simulator is single-threaded
-// by design (a cooperative unikernel), which also keeps runs
-// reproducible.
+// CPU is not safe for concurrent use: the simulator runs on one
+// goroutine even when it models several vCPUs — the scheduler's
+// deterministic interleaver (lowest cycle count first, ties by vCPU id)
+// stands in for hardware parallelism, which keeps runs reproducible.
 type CPU struct {
 	cycles  uint64
 	byComp  map[Component]uint64
 	stopped bool
+	id      int
+	mach    *Machine // nil for a standalone CPU
 }
 
-// New returns a CPU with an empty ledger.
+// New returns a standalone CPU with an empty ledger.
 func New() *CPU { return &CPU{byComp: make(map[Component]uint64)} }
 
 // Charge adds cycles to the counter, attributed to comp.
@@ -72,6 +90,43 @@ func (c *CPU) Charge(comp Component, cycles uint64) {
 
 // Cycles reports the total number of cycles charged so far.
 func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// ID reports the vCPU's index within its machine (0 for a standalone
+// CPU).
+func (c *CPU) ID() int { return c.id }
+
+// Machine reports the machine this vCPU belongs to, nil for a
+// standalone CPU.
+func (c *CPU) Machine() *Machine { return c.mach }
+
+// MakeCurrent directs the machine's subsequent charges to this vCPU.
+// The scheduler calls it on every dispatch; standalone CPUs ignore it.
+func (c *CPU) MakeCurrent() {
+	if c.mach != nil {
+		c.mach.cur = c
+	}
+}
+
+// AdvanceTo fast-forwards an idle vCPU's counter to now, attributing
+// the gap to CompIdle. The scheduler uses it when a cross-CPU wake
+// targets a vCPU whose clock lags the waker: the woken thread cannot
+// run before the IPI that made it runnable was sent. A counter already
+// at or past now is untouched.
+func (c *CPU) AdvanceTo(now uint64) {
+	if now <= c.cycles {
+		return
+	}
+	c.Charge(CompIdle, now-c.cycles)
+}
+
+// NCPU implements Clock (a standalone CPU is its own time domain).
+func (c *CPU) NCPU() int { return 1 }
+
+// CurID implements Clock: the vCPU charges currently land on.
+func (c *CPU) CurID() int { return c.id }
+
+// Steer implements Clock; a standalone CPU has nowhere to steer.
+func (c *CPU) Steer(int) func() { return func() {} }
 
 // ByComponent returns a copy of the per-component cycle ledger.
 func (c *CPU) ByComponent() map[Component]uint64 {

@@ -91,6 +91,18 @@ const (
 	// every verified-scheduler API entry.
 	CostVerifiedSchedOpExtra = 40
 
+	// CostIPI is sending one inter-processor interrupt: a cross-CPU
+	// wake on the same machine pays it on the waking vCPU (APIC write
+	// plus the remote reschedule interrupt's entry/exit, ~430 ns at
+	// 2.1 GHz). Wakes that stay on one vCPU — every wake on a
+	// single-core machine — cost nothing extra.
+	CostIPI = 900
+
+	// CostSteal is one work-stealing attempt that migrates a thread
+	// from another vCPU's run queue: the victim-queue locking and the
+	// cache-cold queue touch, charged to the thief.
+	CostSteal = 120
+
 	// CostSemOp is a semaphore up/down in LibC, excluding the
 	// scheduler calls it makes for blocking/waking.
 	CostSemOp = 25

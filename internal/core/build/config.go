@@ -158,6 +158,17 @@ type Config struct {
 	// compartment may be vectored up to depth frames per crossing.
 	// Compartments absent from the map dispatch one call per crossing.
 	Batch map[string]int
+	// Smp is the vCPU count of each machine (configfile directive
+	// "smp <n>"). 0 or 1 builds the classic single-core image; n > 1
+	// builds an SMP machine whose NIC exposes n RSS queues (one per
+	// vCPU by default).
+	Smp int
+	// Affinity pins a target to a vCPU (configfile directive
+	// "affinity <target> <cpu>"). A target is a library name — pinning
+	// that library's service thread, e.g. "netstack" for the tcpip
+	// thread — or "queue<k>", steering NIC queue k's interrupts.
+	// Unlisted queues default to queue k -> vCPU k mod Smp.
+	Affinity map[string]int
 }
 
 // DefaultLibraries is the library set of the canonical six-library
@@ -316,6 +327,30 @@ func normalize(cfg *Config) ([]Compartment, error) {
 		if depth < 2 {
 			return nil, fmt.Errorf("build: batch depth for compartment %q wants >= 2, got %d", comp, depth)
 		}
+	}
+	if cfg.Smp < 0 {
+		return nil, fmt.Errorf("build: smp wants >= 1 vCPU, got %d", cfg.Smp)
+	}
+	ncpu := cfg.Smp
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	for target, cpu := range cfg.Affinity {
+		if cpu < 0 || cpu >= ncpu {
+			return nil, fmt.Errorf("build: affinity %q -> cpu %d outside 0..%d", target, cpu, ncpu-1)
+		}
+		if known[target] {
+			continue
+		}
+		var q int
+		if n, err := fmt.Sscanf(target, "queue%d", &q); err == nil && n == 1 &&
+			target == fmt.Sprintf("queue%d", q) {
+			if q < 0 || q >= ncpu {
+				return nil, fmt.Errorf("build: affinity for queue %d, but the NIC has queues 0..%d", q, ncpu-1)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("build: affinity target %q is neither a library nor queue<k>", target)
 	}
 	// MPK shares the hardware's 16 protection keys; one is the shared
 	// window. The VM and CHERI backends have no such limit (a point

@@ -34,6 +34,8 @@ import (
 //	overload <compartment> <queue-depth> <shed|block|deadline>
 //	breaker <compartment> <threshold> <window> <cooldown-cycles>
 //	batch <compartment> <depth>
+//	smp <n>
+//	affinity <library|queue<k>> <cpu>
 
 // ParseConfig parses configuration-file source into a Config.
 func ParseConfig(src string) (Config, error) {
@@ -271,6 +273,35 @@ func applyDirective(cfg *Config, fields []string) error {
 		} else {
 			cfg.Batch[args[0]] = depth
 		}
+	case "smp":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("smp wants a vCPU count >= 1, got %q", args[0])
+		}
+		if n == 1 {
+			cfg.Smp = 0 // single-core is the default, entry elided
+		} else {
+			cfg.Smp = n
+		}
+	case "affinity":
+		if err := need(2); err != nil {
+			return err
+		}
+		cpu, err := strconv.Atoi(args[1])
+		if err != nil || cpu < 0 {
+			return fmt.Errorf("affinity wants a non-negative cpu id, got %q", args[1])
+		}
+		if cfg.Affinity == nil {
+			cfg.Affinity = make(map[string]int)
+		}
+		if cpu == 0 {
+			delete(cfg.Affinity, args[0]) // cpu 0 is the default
+		} else {
+			cfg.Affinity[args[0]] = cpu
+		}
 	default:
 		return fmt.Errorf("unknown directive %q", dir)
 	}
@@ -382,6 +413,19 @@ func FormatConfig(cfg Config) string {
 	sort.Strings(batched)
 	for _, comp := range batched {
 		fmt.Fprintf(&b, "batch %s %d\n", comp, cfg.Batch[comp])
+	}
+	if cfg.Smp > 1 {
+		fmt.Fprintf(&b, "smp %d\n", cfg.Smp)
+	}
+	pinned := make([]string, 0, len(cfg.Affinity))
+	for target, cpu := range cfg.Affinity {
+		if cpu != 0 {
+			pinned = append(pinned, target)
+		}
+	}
+	sort.Strings(pinned)
+	for _, target := range pinned {
+		fmt.Fprintf(&b, "affinity %s %d\n", target, cfg.Affinity[target])
 	}
 	return b.String()
 }

@@ -22,6 +22,13 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("backend vm-rpc\ncompartment nw netstack\ncompartment core sched alloc libc app rest\n" +
 		"batch nw 16\nbatch core 4\nbatch nw 1\n")
 	f.Add("batch nw 0\nbatch nw -7\nbatch nw lots\nbatch nw\n")
+	f.Add("backend mpk-shared\nsmp 4\naffinity netstack 1\naffinity queue2 3\naffinity queue0 0\n")
+	f.Add("smp 1\nsmp 0\nsmp -2\nsmp lots\nsmp\n")
+	f.Add("smp 2\naffinity netstack 7\n")                  // cpu id outside 0..smp-1
+	f.Add("smp 4\naffinity queue9 1\n")                    // queue outside the NIC's rings
+	f.Add("smp 4\naffinity nowhere 1\n")                   // neither library nor queue<k>
+	f.Add("affinity netstack -1\nsmp 8\n")                 // negative cpu id
+	f.Add("smp 2\naffinity queue1 1\naffinity queue1 0\n") // override back to default
 	f.Fuzz(func(t *testing.T, src string) {
 		cfg, err := ParseConfig(src)
 		if err != nil {

@@ -1,0 +1,100 @@
+package build
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmpConfigRoundTrip checks that the smp/affinity directives parse,
+// validate, and survive the FormatConfig round trip, including the
+// default-elision rules (smp 1 and affinity-to-cpu-0 disappear).
+func TestSmpConfigRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantSmp int
+		wantAff map[string]int
+	}{
+		{
+			name:    "smp with affinities",
+			src:     "backend mpk-shared\nsmp 4\naffinity netstack 1\naffinity queue2 3\n",
+			wantSmp: 4,
+			wantAff: map[string]int{"netstack": 1, "queue2": 3},
+		},
+		{
+			name:    "smp 1 elides to default",
+			src:     "backend funccall\nsmp 1\n",
+			wantSmp: 0,
+			wantAff: nil,
+		},
+		{
+			name:    "affinity cpu 0 elides to default",
+			src:     "backend funccall\nsmp 2\naffinity netstack 1\naffinity netstack 0\n",
+			wantSmp: 2,
+			wantAff: nil,
+		},
+		{
+			name:    "later affinity wins",
+			src:     "backend funccall\nsmp 4\naffinity queue1 2\naffinity queue1 3\n",
+			wantSmp: 4,
+			wantAff: map[string]int{"queue1": 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := ParseConfig(tc.src)
+			if err != nil {
+				t.Fatalf("ParseConfig: %v", err)
+			}
+			if cfg.Smp != tc.wantSmp {
+				t.Fatalf("Smp = %d, want %d", cfg.Smp, tc.wantSmp)
+			}
+			if len(cfg.Affinity) != len(tc.wantAff) {
+				t.Fatalf("Affinity = %v, want %v", cfg.Affinity, tc.wantAff)
+			}
+			for k, v := range tc.wantAff {
+				if cfg.Affinity[k] != v {
+					t.Fatalf("Affinity[%q] = %d, want %d", k, cfg.Affinity[k], v)
+				}
+			}
+			once := FormatConfig(cfg)
+			cfg2, err := ParseConfig(once)
+			if err != nil {
+				t.Fatalf("reparse of formatted config: %v\n%s", err, once)
+			}
+			if twice := FormatConfig(cfg2); once != twice {
+				t.Fatalf("format not a fixpoint:\n%s\nvs\n%s", once, twice)
+			}
+		})
+	}
+}
+
+// TestSmpConfigRejects checks that invalid smp/affinity directives are
+// rejected with a diagnostic, not silently accepted.
+func TestSmpConfigRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"smp zero", "smp 0\n", "smp"},
+		{"smp negative", "smp -3\n", "smp"},
+		{"smp non-numeric", "smp lots\n", "smp"},
+		{"cpu out of range", "smp 2\naffinity netstack 7\n", "cpu"},
+		{"cpu out of range without smp", "affinity netstack 1\n", "cpu"},
+		{"negative cpu", "smp 4\naffinity netstack -1\n", "cpu"},
+		{"queue out of range", "smp 4\naffinity queue9 1\n", "queue"},
+		{"unknown target", "smp 4\naffinity nowhere 1\n", "affinity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig(tc.src)
+			if err == nil {
+				t.Fatalf("ParseConfig accepted %q", tc.src)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}

@@ -32,7 +32,14 @@ const (
 type Machine struct {
 	// Config is the image description the machine was built from.
 	Config Config
-	// CPU is the machine's virtual cycle clock.
+	// Clock is the machine's time domain: Config.Smp vCPUs sharing one
+	// deterministic interleaver. Every component of the image charges
+	// it, and charges land on the vCPU the scheduler (or RSS interrupt
+	// steering) made current.
+	Clock *clock.Machine
+	// CPU is vCPU 0 — the boot CPU, where single-threaded setup and
+	// main-thread work runs. On a single-core image it is the whole
+	// machine.
 	CPU *clock.CPU
 	// Arena is the machine's physical memory.
 	Arena *mem.Arena
@@ -128,10 +135,11 @@ func NewWorld(cfg Config) (*World, error) {
 func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAddr) (*Machine, error) {
 	m := &Machine{
 		Config: cfg,
-		CPU:    clock.New(),
+		Clock:  clock.NewMachine(cfg.Smp),
 		envs:   make(map[string]*rt.Env, len(DefaultLibraries)),
 		comps:  comps,
 	}
+	m.CPU = m.Clock.CPU(0)
 
 	// --- memory layout ---------------------------------------------
 	// Page 0 stays unmapped (NilAddr), then the shared window, then
@@ -154,7 +162,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	base += sharedHeapSize
 	m.Pool = mem.NewSharedPool(shared)
 
-	m.Sup = rt.NewSupervisor(m.CPU, m.Pool)
+	m.Sup = rt.NewSupervisor(m.Clock, m.Pool)
 	for comp, p := range cfg.OnFault {
 		m.Sup.SetPolicy(comp, p)
 	}
@@ -187,7 +195,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	}
 	var asan *sh.ASAN
 	if anyASAN {
-		asan = sh.NewASAN(m.Arena, m.CPU)
+		asan = sh.NewASAN(m.Arena, m.Clock)
 	}
 
 	// instrument wraps a heap with the ASAN allocator when the
@@ -200,7 +208,7 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 		}
 		for _, l := range served {
 			if cfg.SH[l].ASAN {
-				return sh.NewAllocator(h, asan, m.CPU)
+				return sh.NewAllocator(h, asan, m.Clock)
 			}
 		}
 		return h
@@ -246,28 +254,28 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 		domains[i] = gate.NewDomain(c.Name, compKey(i))
 	}
 
-	direct := gate.NewFuncCall(m.CPU)
+	direct := gate.NewFuncCall(m.Clock)
 	var cross gate.Gate
 	switch cfg.Backend {
 	case gate.FuncCall:
-		cross = gate.NewFuncCall(m.CPU)
+		cross = gate.NewFuncCall(m.Clock)
 	case gate.MPKShared, gate.MPKSwitched:
-		m.MPK = mpk.New(m.Arena, m.CPU)
+		m.MPK = mpk.New(m.Arena, m.Clock)
 		m.MPK.SetPolicy(cfg.Seal)
 		for _, d := range domains {
 			m.MPK.RegisterDomain(d.PKRU)
 		}
 		if cfg.Backend == gate.MPKShared {
-			cross = gate.NewMPKShared(m.MPK, m.CPU)
+			cross = gate.NewMPKShared(m.MPK, m.Clock)
 		} else {
-			cross = gate.NewMPKSwitched(m.MPK, m.CPU)
+			cross = gate.NewMPKSwitched(m.MPK, m.Clock)
 		}
 	case gate.VMRPC:
 		m.Bus = vmm.NewBus()
-		cross = gate.NewVMRPC(m.CPU, m.Bus.Notify)
+		cross = gate.NewVMRPC(m.Clock, m.Bus.Notify)
 	case gate.CHERI:
-		m.CHERI = cheri.New(m.Arena, m.CPU)
-		cg := gate.NewCHERI(m.CHERI, m.CPU)
+		m.CHERI = cheri.New(m.Arena, m.Clock)
+		cg := gate.NewCHERI(m.CHERI, m.Clock)
 		// Each compartment gets a sealed code/data capability pair
 		// over its entry page; CInvoke unseals them on crossing.
 		root, err := m.CHERI.Root(mem.PageSize, mem.PageSize, cheri.PermRead|cheri.PermWrite|cheri.PermExecute)
@@ -307,12 +315,12 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 	for _, l := range DefaultLibraries {
 		var hard *sh.Hardener
 		if p, ok := cfg.SH[l]; ok && p.Enabled() {
-			hard = sh.NewHardener(libComponents[l], p, asan, nil, m.CPU)
+			hard = sh.NewHardener(libComponents[l], p, asan, nil, m.Clock)
 		}
 		m.envs[l] = &rt.Env{
 			Lib:        l,
 			Comp:       libComponents[l],
-			CPU:        m.CPU,
+			CPU:        m.Clock,
 			Gates:      m.Registry,
 			Arena:      m.Arena,
 			Alloc:      allocOf[l],
@@ -346,11 +354,28 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 		netCfg.RxBudget = d
 	}
 	netCfg.RestHard = m.envs["rest"].Hard
+	// Multi-queue NIC: one RSS queue per vCPU, interrupts steered queue
+	// k -> vCPU k unless an affinity directive overrides it; the tcpip
+	// thread runs on the netstack library's affinity CPU (default 0).
+	netCfg.NumQueues = m.Clock.NCPU()
+	netCfg.QueueCPU = make([]int, netCfg.NumQueues)
+	for q := range netCfg.QueueCPU {
+		netCfg.QueueCPU[q] = q % m.Clock.NCPU()
+		if cpu, ok := cfg.Affinity[fmt.Sprintf("queue%d", q)]; ok {
+			netCfg.QueueCPU[q] = cpu
+		}
+	}
+	netCfg.TCPIPCPU = cfg.Affinity["netstack"]
 	m.Stack = net.NewStack(m.envs["netstack"], m.LibC, s, netCfg)
 
 	m.Wrappers = GenerateWrappers(spec.DefaultImage(), comps)
 	return m, nil
 }
+
+// Cycles reports the machine's elapsed virtual time: the makespan
+// across its vCPUs, which on a single-core image is exactly the one
+// CPU's counter.
+func (m *Machine) Cycles() uint64 { return m.Clock.Makespan() }
 
 // Env returns the runtime environment of one library ("app", "libc",
 // ...); it panics on unknown names, which indicates a build bug.
@@ -373,7 +398,8 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 	ring := trace.NewRing(capacity)
 	m.Registry.SetTracer(func(fromComp, toComp string) {
 		ring.Emit(trace.Event{
-			Cycles: m.CPU.Cycles(),
+			Cycles: m.Clock.Cycles(),
+			CPU:    m.Clock.CurID(),
 			Kind:   "crossing",
 			From:   fromComp,
 			To:     toComp,
@@ -381,14 +407,16 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 	})
 	m.Pool.SetTracer(func(kind string, addr mem.Addr, n int) {
 		ring.Emit(trace.Event{
-			Cycles: m.CPU.Cycles(),
+			Cycles: m.Clock.Cycles(),
+			CPU:    m.Clock.CurID(),
 			Kind:   kind,
 			Note:   fmt.Sprintf("%#x+%d", addr, n),
 		})
 	})
 	m.Stack.SetCopyTracer(func(from, to string, n int) {
 		ring.Emit(trace.Event{
-			Cycles: m.CPU.Cycles(),
+			Cycles: m.Clock.Cycles(),
+			CPU:    m.Clock.CurID(),
 			Kind:   "buf-copy",
 			From:   from,
 			To:     to,
@@ -397,7 +425,8 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 	})
 	m.Sup.SetTracer(func(kind, comp, note string) {
 		ring.Emit(trace.Event{
-			Cycles: m.CPU.Cycles(),
+			Cycles: m.Clock.Cycles(),
+			CPU:    m.Clock.CurID(),
 			Kind:   kind,
 			From:   comp,
 			Note:   note,

@@ -57,7 +57,7 @@ func BatchCrossingCost(b Backend, n int) uint64 {
 // against the dispatch cost alone. Refusal charges the same cheap
 // rejection path as a gate-entry refusal and yields the same typed
 // KindDeadline trap, scoped to this frame.
-func batchFrameDeadline(cpu *clock.CPU, from, to *Domain, frame CallFrame) error {
+func batchFrameDeadline(cpu clock.Clock, from, to *Domain, frame CallFrame) error {
 	if frame.Deadline == 0 {
 		return nil
 	}
@@ -98,9 +98,9 @@ func (g *mpkGate) CallBatch(from, to *Domain, frames []CallFrame, fns []func() e
 		return errs
 	}
 	pc := from.Name + "->" + to.Name
-	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	g.clk.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
-		g.cpu.Charge(clock.CompGate,
+		g.clk.Charge(clock.CompGate,
 			clock.CostStackSwitch+uint64(words)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(to.PKRU); err != nil {
@@ -120,19 +120,19 @@ func (g *mpkGate) CallBatch(from, to *Domain, frames []CallFrame, fns []func() e
 		}
 		// Per-frame deadline: earlier frames' work advances the clock,
 		// so a late frame in the batch can still be refused here.
-		if err := batchFrameDeadline(g.cpu, from, to, frames[i]); err != nil {
+		if err := batchFrameDeadline(g.clk, from, to, frames[i]); err != nil {
 			errs[i] = err
 			continue
 		}
-		g.cpu.Charge(clock.CompGate, clock.CostBatchDispatch)
+		g.clk.Charge(clock.CompGate, clock.CostBatchDispatch)
 		// Each frame gets its own trap boundary: one trapped frame
 		// aborts only itself, the rest of the batch completes.
 		errs[i] = fault.Contain(to.Name, pc, fn)
 		retWords += frames[i].RetWords
 	}
-	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	g.clk.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
-		g.cpu.Charge(clock.CompGate,
+		g.clk.Charge(clock.CompGate,
 			clock.CostStackSwitch+uint64(retWords)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(from.PKRU); err != nil {
@@ -158,7 +158,7 @@ func (g *rpcGate) CallBatch(from, to *Domain, frames []CallFrame, fns []func() e
 	for _, f := range frames {
 		words += f.EntryWords() + f.PayloadWords()
 	}
-	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
+	g.clk.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
 		uint64(words)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(from, to)
@@ -166,15 +166,15 @@ func (g *rpcGate) CallBatch(from, to *Domain, frames []CallFrame, fns []func() e
 	pc := from.Name + "->" + to.Name
 	retWords := 0
 	for i, fn := range fns {
-		if err := batchFrameDeadline(g.cpu, from, to, frames[i]); err != nil {
+		if err := batchFrameDeadline(g.clk, from, to, frames[i]); err != nil {
 			errs[i] = err
 			continue
 		}
-		g.cpu.Charge(clock.CompVMM, clock.CostBatchDispatch)
+		g.clk.Charge(clock.CompVMM, clock.CostBatchDispatch)
 		errs[i] = fault.Contain(to.Name, pc, fn)
 		retWords += frames[i].RetWords
 	}
-	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+
+	g.clk.Charge(clock.CompVMM, clock.CostVMNotify+
 		uint64(retWords)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(to, from)

@@ -16,14 +16,14 @@ import (
 // abstraction exists to absorb.
 type cheriGate struct {
 	m       *cheri.Machine
-	cpu     *clock.CPU
+	cpu     clock.Clock
 	entries map[string][2]cheri.Capability // domain -> sealed {code, data}
 	count   uint64
 }
 
 // NewCHERI returns a capability-backend gate over machine m.
 // Compartments must register their sealed entry pairs before crossing.
-func NewCHERI(m *cheri.Machine, cpu *clock.CPU) *CHERIGate {
+func NewCHERI(m *cheri.Machine, cpu clock.Clock) *CHERIGate {
 	return &CHERIGate{cheriGate{m: m, cpu: cpu, entries: make(map[string][2]cheri.Capability)}}
 }
 

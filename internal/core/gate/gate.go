@@ -169,15 +169,15 @@ type CallFrame struct {
 // fault.Classify. Gates call it on entry, before charging any
 // crossing cost: refusing late work must stay far cheaper than doing
 // it.
-func deadlineCheck(cpu *clock.CPU, b Backend, from, to *Domain, frame CallFrame) error {
+func deadlineCheck(clk clock.Clock, b Backend, from, to *Domain, frame CallFrame) error {
 	if frame.Deadline == 0 {
 		return nil
 	}
-	now := cpu.Cycles()
+	now := clk.Cycles()
 	if now+CrossingCost(b) <= frame.Deadline {
 		return nil
 	}
-	cpu.Charge(clock.CompGate, clock.CostDeadlineRefuse)
+	clk.Charge(clock.CompGate, clock.CostDeadlineRefuse)
 	pc := from.Name + "->" + to.Name
 	return fault.Classify(to.Name, pc,
 		&fault.DeadlineExceeded{PC: pc, Deadline: frame.Deadline, Now: now})
@@ -217,12 +217,12 @@ type Gate interface {
 
 // funcGate is the direct-call gate used within a compartment.
 type funcGate struct {
-	cpu   *clock.CPU
+	clk   clock.Clock
 	count uint64
 }
 
 // NewFuncCall returns the direct-call gate.
-func NewFuncCall(cpu *clock.CPU) Gate { return &funcGate{cpu: cpu} }
+func NewFuncCall(clk clock.Clock) Gate { return &funcGate{clk: clk} }
 
 func (g *funcGate) Backend() Backend { return FuncCall }
 func (g *funcGate) Crossings() uint64 {
@@ -231,7 +231,7 @@ func (g *funcGate) Crossings() uint64 {
 
 func (g *funcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
-	g.cpu.Charge(clock.CompGate, clock.CostCall)
+	g.clk.Charge(clock.CompGate, clock.CostCall)
 	// Deliberately no trap boundary: a direct call offers no
 	// protection-domain switch, so a fault raised in the callee unwinds
 	// the whole image — the blast-radius contrast with isolating gates.
@@ -241,19 +241,19 @@ func (g *funcGate) Call(from, to *Domain, frame CallFrame, fn func() error) erro
 // mpkGate implements both MPK variants.
 type mpkGate struct {
 	unit     *mpk.Unit
-	cpu      *clock.CPU
+	clk      clock.Clock
 	switched bool
 	count    uint64
 }
 
 // NewMPKShared returns the ERIM-like shared-stack gate.
-func NewMPKShared(u *mpk.Unit, cpu *clock.CPU) Gate {
-	return &mpkGate{unit: u, cpu: cpu}
+func NewMPKShared(u *mpk.Unit, clk clock.Clock) Gate {
+	return &mpkGate{unit: u, clk: clk}
 }
 
 // NewMPKSwitched returns the Hodor-like switched-stack gate.
-func NewMPKSwitched(u *mpk.Unit, cpu *clock.CPU) Gate {
-	return &mpkGate{unit: u, cpu: cpu, switched: true}
+func NewMPKSwitched(u *mpk.Unit, clk clock.Clock) Gate {
+	return &mpkGate{unit: u, clk: clk, switched: true}
 }
 
 func (g *mpkGate) Backend() Backend {
@@ -280,7 +280,7 @@ func (g *mpkGate) checkSharedBufs(frame CallFrame) error {
 
 func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
-	if err := deadlineCheck(g.cpu, g.Backend(), from, to, frame); err != nil {
+	if err := deadlineCheck(g.clk, g.Backend(), from, to, frame); err != nil {
 		return err
 	}
 	if !g.switched {
@@ -293,10 +293,10 @@ func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 	// Entry: clear caller-saved registers, switch PKRU, optionally
 	// switch stacks and copy parameters (and, with copy transfer
 	// semantics, payload bytes) across.
-	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	g.clk.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
 		words := frame.EntryWords() + frame.PayloadWords()
-		g.cpu.Charge(clock.CompGate,
+		g.clk.Charge(clock.CompGate,
 			clock.CostStackSwitch+uint64(words)*clock.CostParamCopyPerWord)
 	}
 	pc := from.Name + "->" + to.Name
@@ -313,9 +313,9 @@ func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 	callErr := fault.Contain(to.Name, pc, fn)
 	// Return path: restore caller domain (and stack), copying the
 	// declared return words back.
-	g.cpu.Charge(clock.CompGate, clock.CostRegisterClear)
+	g.clk.Charge(clock.CompGate, clock.CostRegisterClear)
 	if g.switched {
-		g.cpu.Charge(clock.CompGate,
+		g.clk.Charge(clock.CompGate,
 			clock.CostStackSwitch+uint64(frame.RetWords)*clock.CostParamCopyPerWord)
 	}
 	if err := g.unit.WritePKRU(from.PKRU); err != nil {
@@ -331,16 +331,25 @@ func (g *mpkGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 // enforced by construction (the callee VM simply has no mapping of the
 // caller's private memory), so no PKRU is involved.
 type rpcGate struct {
-	cpu   *clock.CPU
+	clk   clock.Clock
 	count uint64
 	// notify, when non-nil, is invoked for each crossing so the vmm
 	// substrate can deliver the event on the peer's event channel.
 	notify func(from, to *Domain)
+	// busyUntil is the cycle at which the callee VM's single vCPU and
+	// the hypervisor event channel finish the previous RPC. Each
+	// compartment-VM serves RPCs serially, so a second caller vCPU
+	// arriving earlier stalls until then — the structural reason VM-RPC
+	// does not scale with SMP callers where MPK gates do. On a
+	// single-vCPU machine the caller's clock is already past busyUntil
+	// when the next call starts, so the stall is always zero.
+	busyUntil uint64
+	stalled   uint64
 }
 
 // NewVMRPC returns the VM-based RPC gate. notify may be nil.
-func NewVMRPC(cpu *clock.CPU, notify func(from, to *Domain)) Gate {
-	return &rpcGate{cpu: cpu, notify: notify}
+func NewVMRPC(clk clock.Clock, notify func(from, to *Domain)) Gate {
+	return &rpcGate{clk: clk, notify: notify}
 }
 
 func (g *rpcGate) Backend() Backend  { return VMRPC }
@@ -348,14 +357,19 @@ func (g *rpcGate) Crossings() uint64 { return g.count }
 
 func (g *rpcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error {
 	g.count++
-	if err := deadlineCheck(g.cpu, VMRPC, from, to, frame); err != nil {
+	if err := deadlineCheck(g.clk, VMRPC, from, to, frame); err != nil {
 		return err
 	}
 	// Request: marshal descriptor + args — and, since the VMs share no
 	// address space, the payload bytes themselves — into the shared
 	// ring, notify the callee VM, callee is scheduled.
+	if now := g.clk.Cycles(); g.busyUntil > now {
+		// The callee VM is still serving another vCPU's RPC: stall.
+		g.stalled += g.busyUntil - now
+		g.clk.Charge(clock.CompVMM, g.busyUntil-now)
+	}
 	words := frame.EntryWords() + frame.PayloadWords()
-	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
+	g.clk.Charge(clock.CompVMM, clock.CostVMNotify+clock.CostVMRPCFixed+
 		uint64(words)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(from, to)
@@ -366,13 +380,18 @@ func (g *rpcGate) Call(from, to *Domain, frame CallFrame, fn func() error) error
 	callErr := fault.Contain(to.Name, from.Name+"->"+to.Name, fn)
 	// Response: notification back to the caller VM, return words
 	// marshalled through the ring.
-	g.cpu.Charge(clock.CompVMM, clock.CostVMNotify+
+	g.clk.Charge(clock.CompVMM, clock.CostVMNotify+
 		uint64(frame.RetWords)*clock.CostParamCopyPerWord)
 	if g.notify != nil {
 		g.notify(to, from)
 	}
+	g.busyUntil = g.clk.Cycles()
 	return callErr
 }
+
+// Stalled reports the cycles callers spent waiting for the callee VM
+// to finish earlier RPCs (always zero on a single-vCPU machine).
+func (g *rpcGate) Stalled() uint64 { return g.stalled }
 
 // CrossingCost reports the fixed cycle cost of one call+return through
 // a backend's gate (excluding per-argument copies). The explorer uses

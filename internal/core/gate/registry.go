@@ -230,6 +230,18 @@ func (r *Registry) TotalCrossings() uint64 {
 	return n
 }
 
+// CrossStalled reports the cycles callers spent serialized behind the
+// cross gate — nonzero only for backends with a single-threaded callee
+// (VM-RPC, where one VMM endpoint services every vCPU's calls in
+// turn). It is the SMP experiment's measure of where RPC isolation
+// stops scaling.
+func (r *Registry) CrossStalled() uint64 {
+	if g, ok := r.cross.(interface{ Stalled() uint64 }); ok {
+		return g.Stalled()
+	}
+	return 0
+}
+
 // CrossingMatrix returns a copy of the per-pair crossing counters.
 func (r *Registry) CrossingMatrix() map[[2]string]uint64 {
 	out := make(map[[2]string]uint64, len(r.pairCount))

@@ -169,3 +169,26 @@ func FormatDataPath(r *DataPathResult) string {
 	}
 	return b.String()
 }
+
+// FormatSmp renders the SMP scaling sweep.
+func FormatSmp(r *SmpResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMP: %d-stream parallel iperf, throughput per vCPU count\n", r.Streams)
+	fmt.Fprintf(&b, "%-18s %6s %12s %9s %8s %8s %10s\n",
+		"image", "vcpus", "Mb/s", "speedup", "steals", "ipis", "rpc-stall")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			speedup := "-"
+			if p.VCPUs != r.VCPUs[0] {
+				speedup = fmt.Sprintf("%.2fx", p.SpeedupX)
+			}
+			stall := "-"
+			if p.StallPct > 0 {
+				stall = fmt.Sprintf("%.1f%%", p.StallPct)
+			}
+			fmt.Fprintf(&b, "%-18s %6d %12.1f %9s %8d %8d %10s\n",
+				s.Label, p.VCPUs, p.Mbps, speedup, p.Steals, p.IPIs, stall)
+		}
+	}
+	return b.String()
+}

@@ -157,12 +157,18 @@ func (s SealPolicy) sealExtraCycles() uint64 {
 	}
 }
 
-// Unit is the simulated MPK hardware attached to one vCPU: the PKRU
-// register plus the arena whose page table it checks against.
+// Unit is the simulated MPK hardware of one machine. PKRU is a
+// per-thread register on real hardware; in the simulator, where each
+// vCPU runs exactly one thread at a time, it is modelled per vCPU:
+// pkru[i] is vCPU i's register, and WRPKRU/access checks always act on
+// the register of the vCPU currently charging the clock. Two cores can
+// therefore sit in different protection domains simultaneously — a
+// domain switch on one vCPU must never change what another vCPU may
+// touch.
 type Unit struct {
 	arena   *mem.Arena
-	cpu     *clock.CPU
-	pkru    PKRU
+	clk     clock.Clock
+	pkru    []PKRU // indexed by vCPU id
 	policy  SealPolicy
 	sealed  map[PKRU]bool // registered values when sealing is active
 	writes  uint64
@@ -170,11 +176,14 @@ type Unit struct {
 	checked uint64
 }
 
-// New creates an MPK unit over the arena, charging gate costs to cpu.
-// The initial PKRU permits everything (the boot state).
-func New(a *mem.Arena, cpu *clock.CPU) *Unit {
-	return &Unit{arena: a, cpu: cpu, pkru: PermitAll, sealed: make(map[PKRU]bool)}
+// New creates an MPK unit over the arena, charging gate costs to clk.
+// Every vCPU's initial PKRU permits everything (the boot state).
+func New(a *mem.Arena, clk clock.Clock) *Unit {
+	return &Unit{arena: a, clk: clk, pkru: make([]PKRU, clk.NCPU()), sealed: make(map[PKRU]bool)}
 }
+
+// cur returns a pointer to the current vCPU's PKRU register.
+func (u *Unit) cur() *PKRU { return &u.pkru[u.clk.CurID()] }
 
 // SetPolicy selects the PKRU-integrity policy.
 func (u *Unit) SetPolicy(p SealPolicy) { u.policy = p }
@@ -186,8 +195,12 @@ func (u *Unit) Policy() SealPolicy { return u.policy }
 // SealPageTable only registered values may be written.
 func (u *Unit) RegisterDomain(p PKRU) { u.sealed[p] = true }
 
-// PKRU reports the current register value.
-func (u *Unit) PKRU() PKRU { return u.pkru }
+// PKRU reports the current vCPU's register value.
+func (u *Unit) PKRU() PKRU { return *u.cur() }
+
+// PKRUAt reports vCPU i's register value (for cross-CPU isolation
+// tests and debugging).
+func (u *Unit) PKRUAt(i int) PKRU { return u.pkru[i] }
 
 // Writes reports how many WRPKRU instructions have executed.
 func (u *Unit) Writes() uint64 { return u.writes }
@@ -198,12 +211,13 @@ func (u *Unit) Faults() uint64 { return u.faults }
 // Checked reports how many access checks were performed.
 func (u *Unit) Checked() uint64 { return u.checked }
 
-// WritePKRU executes WRPKRU: it charges the domain-switch cost (plus
-// the sealing policy's surcharge) and installs the new value. Under
-// sealing policies, loading an unregistered value is an integrity
-// violation and returns an error without changing the register.
+// WritePKRU executes WRPKRU on the current vCPU: it charges the
+// domain-switch cost (plus the sealing policy's surcharge) and
+// installs the new value in that vCPU's register only. Under sealing
+// policies, loading an unregistered value is an integrity violation
+// and returns an error without changing the register.
 func (u *Unit) WritePKRU(p PKRU) error {
-	u.cpu.Charge(clock.CompGate, clock.CostWRPKRU+u.policy.sealExtraCycles())
+	u.clk.Charge(clock.CompGate, clock.CostWRPKRU+u.policy.sealExtraCycles())
 	u.writes++
 	if u.policy != SealRuntime && len(u.sealed) > 0 && !u.sealed[p] {
 		return fmt.Errorf("mpk: %v rejected by %v sealing", p, u.policy)
@@ -211,29 +225,31 @@ func (u *Unit) WritePKRU(p PKRU) error {
 	if u.policy == SealRuntime && len(u.sealed) > 0 && !u.sealed[p] {
 		return fmt.Errorf("mpk: %v rejected by runtime check", p)
 	}
-	u.pkru = p
+	*u.cur() = p
 	return nil
 }
 
-// check validates one access against the page table and PKRU.
+// check validates one access against the page table and the current
+// vCPU's PKRU.
 func (u *Unit) check(addr mem.Addr, n int, write bool) error {
 	u.checked++
 	if n <= 0 {
 		return fmt.Errorf("mpk: bad access length %d", n)
 	}
+	pkru := *u.cur()
 	first := addr &^ (mem.PageSize - 1)
 	for page := first; page < addr+mem.Addr(n); page += mem.PageSize {
 		k, err := u.arena.KeyAt(page)
 		if err != nil {
 			return err
 		}
-		ok := u.pkru.CanRead(k)
+		ok := pkru.CanRead(k)
 		if write {
-			ok = u.pkru.CanWrite(k)
+			ok = pkru.CanWrite(k)
 		}
 		if !ok {
 			u.faults++
-			return &Fault{Addr: addr, Key: k, Write: write, PKRU: u.pkru}
+			return &Fault{Addr: addr, Key: k, Write: write, PKRU: pkru}
 		}
 	}
 	return nil

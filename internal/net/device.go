@@ -45,6 +45,8 @@ type NIC struct {
 	wire  *Wire
 	txCnt uint64
 	rxCnt uint64
+	qTx   []uint64 // per-queue tx frame counts
+	qRx   []uint64 // per-queue rx frame counts
 }
 
 // TxCount reports frames transmitted.
@@ -52,6 +54,33 @@ func (n *NIC) TxCount() uint64 { return n.txCnt }
 
 // RxCount reports frames received (after filtering).
 func (n *NIC) RxCount() uint64 { return n.rxCnt }
+
+// QueueTx reports frames transmitted on ring q.
+func (n *NIC) QueueTx(q int) uint64 {
+	if q < 0 || q >= len(n.qTx) {
+		return 0
+	}
+	return n.qTx[q]
+}
+
+// QueueRx reports frames received on ring q.
+func (n *NIC) QueueRx(q int) uint64 {
+	if q < 0 || q >= len(n.qRx) {
+		return 0
+	}
+	return n.qRx[q]
+}
+
+// countTx / countRx bump the total and per-queue frame counters.
+func (n *NIC) countTx(q int) {
+	n.txCnt++
+	n.qTx[q]++
+}
+
+func (n *NIC) countRx(q int) {
+	n.rxCnt++
+	n.qRx[q]++
+}
 
 // Wire connects two NICs. A Filter may drop or reorder-test frames
 // (loss injection for retransmission tests); nil passes everything.
@@ -66,8 +95,8 @@ type Wire struct {
 // Connect wires two stacks together and returns the wire.
 func Connect(a, b *Stack) *Wire {
 	w := &Wire{}
-	na := &NIC{stack: a, wire: w}
-	nb := &NIC{stack: b, wire: w}
+	na := &NIC{stack: a, wire: w, qTx: make([]uint64, a.numQueues), qRx: make([]uint64, a.numQueues)}
+	nb := &NIC{stack: b, wire: w, qTx: make([]uint64, b.numQueues), qRx: make([]uint64, b.numQueues)}
 	na.peer, nb.peer = nb, na
 	w.a, w.b = na, nb
 	a.attachNIC(na)
@@ -78,7 +107,7 @@ func Connect(a, b *Stack) *Wire {
 // transmit moves one frame across the wire. The frame is copied (the
 // wire owns nothing), filtered, and handed to the peer's input path.
 func (n *NIC) transmit(frame []byte) {
-	n.txCnt++
+	n.countTx(n.stack.frameQueue(frame))
 	// TX driver cost on the sending machine.
 	n.stack.env.CPU.Charge(clock.CompRest, perPacketPlatformCycles(n.stack.platform))
 	n.stack.restHard.OnFrame()
@@ -122,7 +151,7 @@ func (n *NIC) transmitBatch(frames [][]byte) {
 	}
 	delivered := make([][]byte, 0, len(frames))
 	for i, frame := range frames {
-		n.txCnt++
+		n.countTx(n.stack.frameQueue(frame))
 		n.chargePacket(i == 0, len(frame))
 		if n.wire.Filter != nil && !n.wire.Filter(frame) {
 			n.wire.Dropped++
@@ -161,6 +190,34 @@ func (n *NIC) receiveBatch(frames [][]byte) {
 			saved, cur.Deadline = cur.Deadline, 0
 		}
 	}
+	// RSS: demux the wire batch onto the rx rings, then poll each ring
+	// on its own vCPU. With one queue this is the whole batch on ring 0
+	// — the single-queue behavior, bit for bit.
+	if n.stack.numQueues <= 1 {
+		n.pollQueue(0, frames, budget)
+	} else {
+		perQ := make([][][]byte, n.stack.numQueues)
+		for _, frame := range frames {
+			q := n.stack.frameQueue(frame)
+			perQ[q] = append(perQ[q], frame)
+		}
+		for q, qframes := range perQ {
+			n.pollQueue(q, qframes, budget)
+		}
+	}
+	if cur != nil {
+		cur.Deadline = saved
+	}
+}
+
+// pollQueue runs the NAPI polls of one rx ring, with the interrupt and
+// all input processing steered to (and charged on) the queue's vCPU.
+func (n *NIC) pollQueue(q int, frames [][]byte, budget int) {
+	if len(frames) == 0 {
+		return
+	}
+	restore := n.stack.env.CPU.Steer(n.stack.queueCPUFor(q))
+	defer restore()
 	for start := 0; start < len(frames); start += budget {
 		end := start + budget
 		if end > len(frames) {
@@ -168,20 +225,23 @@ func (n *NIC) receiveBatch(frames [][]byte) {
 		}
 		n.stack.beginRxBatch()
 		for i := start; i < end; i++ {
-			n.rxCnt++
+			n.countRx(q)
 			n.chargePacket(i == start, len(frames[i]))
 			n.stack.input(frames[i])
 		}
 		n.stack.endRxBatch()
 	}
-	if cur != nil {
-		cur.Deadline = saved
-	}
 }
 
 // receive runs the receiving stack's input path inline.
 func (n *NIC) receive(frame []byte) {
-	n.rxCnt++
+	q := n.stack.frameQueue(frame)
+	n.countRx(q)
+	// RX interrupt steering: the queue's vCPU takes the interrupt and
+	// runs the input path (no-op on a single-queue device over a
+	// standalone CPU).
+	restore := n.stack.env.CPU.Steer(n.stack.queueCPUFor(q))
+	defer restore()
 	// RX driver cost on the receiving machine.
 	n.stack.env.CPU.Charge(clock.CompRest, perPacketPlatformCycles(n.stack.platform))
 	n.stack.restHard.OnFrame()

@@ -86,6 +86,16 @@ type Config struct {
 	// acknowledges the whole burst once. <= 1 (the default) takes the
 	// per-frame interrupt path.
 	RxBudget int
+	// NumQueues is the NIC's rx/tx queue count. RSS steers each flow
+	// to one queue, whose interrupts land on that queue's vCPU; the
+	// poll budget applies per queue. <= 1 (the default) is a
+	// single-queue device.
+	NumQueues int
+	// QueueCPU maps queue id to the vCPU its interrupts are steered
+	// to; missing entries default to queue i -> vCPU i mod NCPU.
+	QueueCPU []int
+	// TCPIPCPU is the vCPU the tcpip thread is pinned to (default 0).
+	TCPIPCPU int
 }
 
 // Stack is one machine's TCP/IP stack instance.
@@ -117,10 +127,15 @@ type Stack struct {
 	// Crossing-amortization state (tx doorbell + rx coalescing).
 	txBatch   int
 	rxBudget  int
-	txq       [][]byte  // frames awaiting the next doorbell kick
-	ackq      []*Socket // sockets owing a pure ACK (intent, not frame)
-	inRxBatch bool      // inside a NAPI poll: hold pure ACKs
-	kicking   bool      // txKick re-entrancy guard
+	txqs      [][][]byte // per-queue frames awaiting the next doorbell kick
+	ackq      []*Socket  // sockets owing a pure ACK (intent, not frame)
+	inRxBatch bool       // inside a NAPI poll: hold pure ACKs
+	kicking   bool       // txKick re-entrancy guard
+
+	// Multi-queue NIC state (RSS).
+	numQueues int
+	queueCPU  []int
+	tcpipCPU  int
 
 	nextEphemeral uint16
 	isn           uint32
@@ -146,6 +161,20 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 	if cfg.DelAckTicks == 0 {
 		cfg.DelAckTicks = 50
 	}
+	if cfg.NumQueues < 1 {
+		cfg.NumQueues = 1
+	}
+	ncpu := 1
+	if env != nil && env.CPU != nil {
+		ncpu = env.CPU.NCPU()
+	}
+	queueCPU := make([]int, cfg.NumQueues)
+	for i := range queueCPU {
+		queueCPU[i] = i % ncpu
+		if i < len(cfg.QueueCPU) && cfg.QueueCPU[i] >= 0 && cfg.QueueCPU[i] < ncpu {
+			queueCPU[i] = cfg.QueueCPU[i]
+		}
+	}
 	return &Stack{
 		env:           env,
 		sup:           sup,
@@ -166,6 +195,10 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 		dataPath:      cfg.DataPath,
 		txBatch:       cfg.TxBatch,
 		rxBudget:      cfg.RxBudget,
+		txqs:          make([][][]byte, cfg.NumQueues),
+		numQueues:     cfg.NumQueues,
+		queueCPU:      queueCPU,
+		tcpipCPU:      cfg.TCPIPCPU,
 		nextEphemeral: 49152,
 		isn:           1,
 	}
@@ -204,10 +237,20 @@ func (st *Stack) transmit(frame []byte) {
 		st.transmitNow(frame)
 		return
 	}
-	st.txq = append(st.txq, frame)
-	if len(st.txq) >= st.txBatch {
+	q := st.frameQueue(frame)
+	st.txqs[q] = append(st.txqs[q], frame)
+	if len(st.txqs[q]) >= st.txBatch {
 		st.txKick()
 	}
+}
+
+// txPending reports the number of frames waiting across all tx rings.
+func (st *Stack) txPending() int {
+	n := 0
+	for _, q := range st.txqs {
+		n += len(q)
+	}
+	return n
 }
 
 // txKick rings the tx doorbell: pending ack intents resolve to at most
@@ -221,7 +264,7 @@ func (st *Stack) txKick() {
 	}
 	st.kicking = true
 	defer func() { st.kicking = false }()
-	for len(st.ackq) > 0 || len(st.txq) > 0 {
+	for len(st.ackq) > 0 || st.txPending() > 0 {
 		ackq := st.ackq
 		st.ackq = nil
 		for _, s := range ackq {
@@ -234,17 +277,21 @@ func (st *Stack) txKick() {
 			}
 			_ = st.sendFlags(s, flagACK)
 		}
-		frames := st.txq
-		st.txq = nil
-		if len(frames) == 0 {
-			continue
+		// Each tx ring is its own doorbell: the first frame of a ring's
+		// batch pays the doorbell cost, the rest coalesce.
+		for q := range st.txqs {
+			frames := st.txqs[q]
+			st.txqs[q] = nil
+			if len(frames) == 0 {
+				continue
+			}
+			if st.nic == nil {
+				st.stats.DroppedOut += uint64(len(frames))
+				continue
+			}
+			st.stats.TxDoorbells++
+			st.nic.transmitBatch(frames)
 		}
-		if st.nic == nil {
-			st.stats.DroppedOut += uint64(len(frames))
-			continue
-		}
-		st.stats.TxDoorbells++
-		st.nic.transmitBatch(frames)
 	}
 }
 
@@ -408,7 +455,7 @@ func (st *Stack) semDown(t *sched.Thread, sem Sem) {
 	if sem.TryDown() {
 		return
 	}
-	if st.txBatch > 1 || len(st.txq) > 0 || len(st.ackq) > 0 {
+	if st.txBatch > 1 || st.txPending() > 0 || len(st.ackq) > 0 {
 		st.txKick()
 		if sem.TryDown() {
 			return

@@ -58,7 +58,10 @@ func (st *Stack) StartTCPIP(s sched.Scheduler) {
 	// initialization, not a crossing.
 	ts := &tcpipState{reqSem: st.sup.NewSem(0)}
 	st.tcpip = ts
-	ts.thread = s.Spawn("tcpip:"+st.ip.String(), st.env.CPU, func(t *sched.Thread) {
+	// The tcpip thread is pinned to its configured vCPU (the `affinity
+	// netstack <cpu>` directive): its mailbox state is per-CPU by
+	// design, so work stealing must never migrate it.
+	ts.thread = s.Spawn("tcpip:"+st.ip.String(), st.spawnCPU(st.tcpipCPU), func(t *sched.Thread) {
 		for {
 			st.semDown(t, ts.reqSem)
 			if len(ts.reqs) == 0 {
@@ -73,6 +76,7 @@ func (st *Stack) StartTCPIP(s sched.Scheduler) {
 		}
 	})
 	ts.thread.Daemon = true
+	ts.thread.Pinned = true
 }
 
 // TCPIPServed reports how many API messages the tcpip thread has

@@ -25,7 +25,7 @@ type Env struct {
 	// Comp is the cycle-attribution component for this library.
 	Comp clock.Component
 	// CPU is the machine's virtual processor.
-	CPU *clock.CPU
+	CPU clock.Clock
 	// Gates routes cross-library calls.
 	Gates *gate.Registry
 	// Arena is the machine's physical memory.

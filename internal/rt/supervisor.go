@@ -58,7 +58,7 @@ type SupervisorStats struct {
 // trapped call's in-flight buffers are force-released against a
 // pre-call mark — and resets the compartment's drained private heaps.
 type Supervisor struct {
-	cpu      *clock.CPU
+	cpu      clock.Clock
 	pool     *mem.SharedPool
 	policies map[string]fault.Policy
 	heaps    map[string][]*mem.Heap
@@ -79,7 +79,7 @@ type Supervisor struct {
 
 // NewSupervisor creates a supervisor charging recovery work to cpu.
 // pool may be nil (poolless images skip buffer teardown).
-func NewSupervisor(cpu *clock.CPU, pool *mem.SharedPool) *Supervisor {
+func NewSupervisor(cpu clock.Clock, pool *mem.SharedPool) *Supervisor {
 	return &Supervisor{
 		cpu:      cpu,
 		pool:     pool,

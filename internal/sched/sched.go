@@ -16,9 +16,18 @@
 //
 // Threads are goroutines, but scheduling is strictly cooperative and
 // deterministic: exactly one thread runs at a time, handed control
-// through an unbuffered channel, and the run queue is FIFO. Each thread
-// is bound to a virtual CPU (a machine) to which its context switches
-// are charged.
+// through an unbuffered channel. Each thread is bound to a vCPU and
+// waits on that vCPU's FIFO run queue. The dispatcher is a conservative
+// discrete-event interleaver: among the vCPUs of one machine it always
+// resumes the runnable vCPU with the lowest cycle count (ties broken by
+// ascending vCPU id), which is what makes an N-vCPU run bit-reproducible
+// with no Go-level concurrency; across independent time domains
+// (standalone CPUs, or the server and client machines of a world) it
+// dispatches the earliest-enqueued runnable head, which on single-vCPU
+// machines is exactly the historical global FIFO order. Cross-CPU
+// wakes on one machine charge the waking vCPU an IPI, and an idle vCPU
+// may steal waiting work from a loaded sibling (bounded, unpinned
+// threads only).
 package sched
 
 import (
@@ -58,11 +67,16 @@ func (s State) String() string {
 // Thread is one cooperative thread of execution.
 type Thread struct {
 	Name string
-	CPU  *clock.CPU // the machine this thread runs on
+	CPU  *clock.CPU // the vCPU this thread runs on
 	// Daemon marks service threads (e.g. the tcpip thread) that never
 	// exit: they do not keep the scheduler alive and a daemon parked
 	// at shutdown is not a deadlock.
 	Daemon bool
+	// Pinned excludes the thread from work stealing: it only ever runs
+	// on the vCPU it was spawned on (or last migrated to). Service
+	// threads with per-CPU state — the tcpip thread, NIC queue
+	// processing — set it; plain workload threads may migrate.
+	Pinned bool
 	// Deadline is the thread's current absolute virtual-clock deadline
 	// (0 = none). The runtime stamps it onto every gate CallFrame the
 	// thread issues, which is how a budget set at the top of a request
@@ -76,7 +90,8 @@ type Thread struct {
 	sched  Scheduler
 	resume chan struct{}
 	killed bool
-	fault  error // panic captured from the thread body
+	fault  error  // panic captured from the thread body
+	seq    uint64 // enqueue stamp: FIFO order within and across queues
 }
 
 // State reports the thread's current state.
@@ -98,8 +113,8 @@ func (t *Thread) Wake() { t.sched.wake(t) }
 // Scheduler is the API surface every FlexOS scheduler exposes — the
 // [API] clause of its library metadata: thread_add, thread_rm, yield.
 type Scheduler interface {
-	// Spawn creates a thread bound to cpu and adds it to the run
-	// queue (thread_add).
+	// Spawn creates a thread bound to cpu and adds it to that vCPU's
+	// run queue (thread_add).
 	Spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread
 	// Run dispatches threads until all have exited. It returns
 	// ErrDeadlock if every live thread is blocked with no pending
@@ -116,6 +131,10 @@ type Scheduler interface {
 	// find the deadline a gate call should inherit and to park callers
 	// under the block admission policy.
 	Current() *Thread
+	// Steals reports how many threads were migrated by work stealing.
+	Steals() uint64
+	// IPIs reports how many cross-CPU wake interrupts were sent.
+	IPIs() uint64
 
 	yield(*Thread)
 	park(*Thread)
@@ -140,25 +159,43 @@ func (e *ContractError) Error() string {
 	return fmt.Sprintf("sched: contract violation in %s: %s", e.Op, e.Detail)
 }
 
-// coop is the shared mechanics of both schedulers.
+// cpuRun is one vCPU's FIFO run queue. Queues are registered in
+// first-seen order, which (with the vCPU id) is the deterministic
+// tie-break of the interleaver.
+type cpuRun struct {
+	cpu *clock.CPU
+	q   []*Thread
+}
+
+// coop is the shared mechanics of both schedulers: spawn/run/dispatch
+// plumbing, the per-CPU run queues and the interleaver live here once,
+// so the SMP logic is not duplicated across the C and verified
+// schedulers.
 type coop struct {
 	self       Scheduler // the outer scheduler (for Thread.sched)
-	queue      []*Thread
+	runqs      []*cpuRun // first-seen order (deterministic iteration)
+	byCPU      map[*clock.CPU]*cpuRun
 	threads    []*Thread
 	current    *Thread
 	last       *Thread
 	yielded    chan struct{}
+	timers     *Timers
 	switches   uint64
+	steals     uint64
+	ipis       uint64
 	switchCost uint64
 	opCost     uint64
 	opExtra    uint64 // verified-scheduler contract-check surcharge
 	verify     bool
 	firstFault error
+	enqSeq     uint64
 }
 
 func newCoop(switchCost, opExtra uint64, verify bool) *coop {
 	return &coop{
+		byCPU:      make(map[*clock.CPU]*cpuRun),
 		yielded:    make(chan struct{}),
+		timers:     newTimers(),
 		switchCost: switchCost,
 		opCost:     clock.CostSchedOp,
 		opExtra:    opExtra,
@@ -174,7 +211,44 @@ func (s *coop) chargeOp(cpu *clock.CPU) {
 	cpu.Charge(clock.CompSched, s.opCost+s.opExtra)
 }
 
-func (s *coop) spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
+// runq returns (creating on first sight) the run queue of a vCPU. A
+// nil CPU (threads spawned without a clock in tests) shares one queue
+// keyed by nil.
+func (s *coop) runq(cpu *clock.CPU) *cpuRun {
+	if rq, ok := s.byCPU[cpu]; ok {
+		return rq
+	}
+	// Seeing any vCPU of a machine registers the whole machine, in id
+	// order: idle siblings need run queues of their own to be steal
+	// targets, and registration order must not depend on enqueue order.
+	if cpu != nil && cpu.Machine() != nil {
+		m := cpu.Machine()
+		for _, sib := range m.CPUs() {
+			if _, ok := s.byCPU[sib]; ok {
+				continue
+			}
+			rq := &cpuRun{cpu: sib}
+			s.byCPU[sib] = rq
+			s.runqs = append(s.runqs, rq)
+		}
+		return s.byCPU[cpu]
+	}
+	rq := &cpuRun{cpu: cpu}
+	s.byCPU[cpu] = rq
+	s.runqs = append(s.runqs, rq)
+	return rq
+}
+
+// enqueue stamps FIFO order and appends t to its vCPU's run queue.
+func (s *coop) enqueue(t *Thread) {
+	t.seq = s.enqSeq
+	s.enqSeq++
+	rq := s.runq(t.CPU)
+	rq.q = append(rq.q, t)
+}
+
+// Spawn implements Scheduler for both schedulers.
+func (s *coop) Spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
 	t := &Thread{Name: name, CPU: cpu, sched: s.self, state: Ready, resume: make(chan struct{})}
 	s.chargeOp(cpu)
 	if s.verify {
@@ -184,7 +258,7 @@ func (s *coop) spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
 		s.checkInvariants("thread_add")
 	}
 	s.threads = append(s.threads, t)
-	s.queue = append(s.queue, t)
+	s.enqueue(t)
 	go func() {
 		<-t.resume
 		defer func() {
@@ -205,14 +279,16 @@ func (s *coop) spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
 	return t
 }
 
-func (s *coop) run(timers *Timers) error {
+// Run implements Scheduler for both schedulers.
+func (s *coop) Run() error {
 	for {
-		if len(s.queue) == 0 {
+		t := s.pick()
+		if t == nil {
 			// No runnable thread: fire the earliest timer if any. A
 			// timer callback runs on this goroutine, so a contract
 			// violation it trips must be caught here, not crash Run.
-			if timers != nil {
-				fired, err := s.fireTimer(timers)
+			if s.timers != nil {
+				fired, err := s.fireTimer(s.timers)
 				if err != nil {
 					if s.firstFault == nil {
 						s.firstFault = err
@@ -224,19 +300,6 @@ func (s *coop) run(timers *Timers) error {
 				}
 			}
 			break
-		}
-		t := s.queue[0]
-		s.queue = s.queue[1:]
-		if t.state != Ready {
-			// A stale entry (e.g. the thread exited after a contract
-			// violation, or a corrupted queue under test) must not be
-			// dispatched: its goroutine is gone.
-			continue
-		}
-		if t.Daemon && s.onlyDaemonsLeft() {
-			// The workload is done; do not keep dispatching service
-			// threads among themselves.
-			continue
 		}
 		s.dispatch(t)
 	}
@@ -259,6 +322,153 @@ func (s *coop) run(timers *Timers) error {
 	}
 	return nil
 }
+
+// pick selects and dequeues the next thread under the interleaver's
+// rule, or returns nil when every queue is empty. Stale entries
+// (exited threads, daemons once only daemons remain) are pruned from
+// the queue heads first — dropping them has no cycle cost, so pruning
+// order cannot affect the measured run.
+func (s *coop) pick() *Thread {
+	daemonsOnly := s.onlyDaemonsLeft()
+	for _, rq := range s.runqs {
+		for len(rq.q) > 0 {
+			h := rq.q[0]
+			if h.state != Ready || (h.Daemon && daemonsOnly) {
+				rq.q = rq.q[1:]
+				continue
+			}
+			break
+		}
+	}
+	s.maybeSteal()
+	rq := s.chooseQueue()
+	if rq == nil {
+		return nil
+	}
+	t := rq.q[0]
+	rq.q = rq.q[1:]
+	return t
+}
+
+// chooseQueue applies the interleaver rule to the pruned queues:
+// within one machine, the runnable vCPU with the lowest cycle count
+// (ties by vCPU id); across time domains, the domain holding the
+// earliest-enqueued runnable head — which, on machines of one vCPU, is
+// exactly a global FIFO.
+func (s *coop) chooseQueue() *cpuRun {
+	type domain struct {
+		best *cpuRun // min (cycles, id) runnable vCPU of the domain
+		seq  uint64  // earliest head enqueue stamp in the domain
+	}
+	doms := make(map[interface{}]*domain)
+	var order []interface{} // deterministic iteration
+	for _, rq := range s.runqs {
+		if len(rq.q) == 0 {
+			continue
+		}
+		var key interface{} = rq // standalone CPU (or nil): its own domain
+		if rq.cpu != nil && rq.cpu.Machine() != nil {
+			key = rq.cpu.Machine()
+		}
+		d, ok := doms[key]
+		if !ok {
+			doms[key] = &domain{best: rq, seq: rq.q[0].seq}
+			order = append(order, key)
+			continue
+		}
+		if less(rq.cpu, d.best.cpu) {
+			d.best = rq
+		}
+		if rq.q[0].seq < d.seq {
+			d.seq = rq.q[0].seq
+		}
+	}
+	var chosen *domain
+	for _, key := range order {
+		d := doms[key]
+		if chosen == nil || d.seq < chosen.seq {
+			chosen = d
+		}
+	}
+	if chosen == nil {
+		return nil
+	}
+	return chosen.best
+}
+
+// less orders two vCPUs of one machine: lowest cycle count first, ties
+// by ascending id.
+func less(a, b *clock.CPU) bool {
+	if a.Cycles() != b.Cycles() {
+		return a.Cycles() < b.Cycles()
+	}
+	return a.ID() < b.ID()
+}
+
+// maybeSteal migrates at most one waiting thread per dispatch from the
+// most loaded vCPU of a machine to an idle sibling whose clock is
+// behind: the idle vCPU would otherwise sit parked while runnable work
+// queues elsewhere. Only unpinned threads beyond the victim's head are
+// taken (never the thread about to run), from the queue tail, and the
+// thief pays the steal cost.
+func (s *coop) maybeSteal() {
+	for _, thief := range s.runqs {
+		if len(thief.q) != 0 || thief.cpu == nil || thief.cpu.Machine() == nil {
+			continue
+		}
+		m := thief.cpu.Machine()
+		var victim *cpuRun
+		for _, rq := range s.runqs {
+			if rq == thief || rq.cpu == nil || rq.cpu.Machine() != m || len(rq.q) < 2 {
+				continue
+			}
+			// The thief must actually be behind: stealing onto a vCPU
+			// that is ahead of the victim would delay the work.
+			if !less(thief.cpu, rq.cpu) {
+				continue
+			}
+			if victim == nil || len(rq.q) > len(victim.q) {
+				victim = rq
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		// Take the youngest unpinned waiter from the tail.
+		for i := len(victim.q) - 1; i >= 1; i-- {
+			t := victim.q[i]
+			if t.Pinned || t.state != Ready {
+				continue
+			}
+			victim.q = append(victim.q[:i], victim.q[i+1:]...)
+			thief.cpu.Charge(clock.CompSched, clock.CostSteal)
+			// The migration happens at the thief's "now": its clock
+			// must not lag the queue it joined the thread to.
+			t.CPU = thief.cpu
+			thief.q = append(thief.q, t)
+			s.steals++
+			break
+		}
+	}
+}
+
+// Timers implements Scheduler for both schedulers.
+func (s *coop) Timers() *Timers { return s.timers }
+
+// Current implements Scheduler for both schedulers.
+func (s *coop) Current() *Thread { return s.current }
+
+// ContextSwitches implements Scheduler for both schedulers.
+func (s *coop) ContextSwitches() uint64 { return s.switches }
+
+// SwitchCost implements Scheduler for both schedulers.
+func (s *coop) SwitchCost() uint64 { return s.switchCost }
+
+// Steals implements Scheduler for both schedulers.
+func (s *coop) Steals() uint64 { return s.steals }
+
+// IPIs implements Scheduler for both schedulers.
+func (s *coop) IPIs() uint64 { return s.ipis }
 
 // fireTimer runs the earliest timer under a recover: timer callbacks
 // execute on the scheduler's own goroutine, where a panic would
@@ -322,7 +532,9 @@ func (s *coop) onlyDaemonsLeft() bool {
 	return true
 }
 
-// dispatch hands the CPU to t and waits until it yields, parks or exits.
+// dispatch hands the vCPU to t and waits until it yields, parks or
+// exits. The thread's vCPU becomes its machine's current one, so every
+// cycle the thread charges lands on the right counter.
 func (s *coop) dispatch(t *Thread) {
 	s.switches++
 	cost := s.switchCost
@@ -333,6 +545,7 @@ func (s *coop) dispatch(t *Thread) {
 	}
 	if t.CPU != nil {
 		t.CPU.Charge(clock.CompSched, cost)
+		t.CPU.MakeCurrent()
 	}
 	t.state = Running
 	s.current = t
@@ -351,7 +564,7 @@ func (s *coop) yield(t *Thread) {
 		s.precondition(t, "yield")
 	}
 	t.state = Ready
-	s.queue = append(s.queue, t)
+	s.enqueue(t)
 	s.yielded <- struct{}{}
 	<-t.resume
 	if t.killed {
@@ -380,10 +593,41 @@ func (s *coop) wake(t *Thread) {
 	if t.state != Blocked {
 		return
 	}
+	s.chargeIPI(t)
 	t.state = Ready
-	s.queue = append(s.queue, t)
+	s.enqueue(t)
 	if s.verify {
 		s.checkInvariants("wake(post)")
+	}
+}
+
+// chargeIPI models the hardware cost of a cross-CPU wake: when the
+// waking code executes on a different vCPU of the woken thread's own
+// machine (the machine's currently-charging vCPU, which interrupt
+// steering may have set), that vCPU pays an IPI send; and if the woken
+// thread's vCPU sits idle with a lagging clock, it fast-forwards to
+// the IPI's send time — the thread cannot run before the interrupt
+// that made it runnable. Wakes on one vCPU, and every wake on a
+// single-vCPU machine, charge nothing, so single-core runs are
+// untouched. Cross-machine wakes carry no IPI either: machines only
+// interact through the NIC, whose per-packet cost already models the
+// notification.
+func (s *coop) chargeIPI(t *Thread) {
+	if t.CPU == nil {
+		return
+	}
+	m := t.CPU.Machine()
+	if m == nil {
+		return
+	}
+	src := m.Cur()
+	if src == t.CPU {
+		return
+	}
+	src.Charge(clock.CompSched, clock.CostIPI)
+	s.ipis++
+	if rq := s.byCPU[t.CPU]; rq == nil || len(rq.q) == 0 {
+		t.CPU.AdvanceTo(src.Cycles())
 	}
 }
 
@@ -399,17 +643,19 @@ func (s *coop) precondition(t *Thread, op string) {
 }
 
 // checkInvariants validates the run-queue invariants the Dafny proof
-// maintains: no duplicates, every queued thread Ready, at most one
-// Running thread.
+// maintains, now per vCPU: no thread queued twice (on any queue),
+// every queued thread Ready, at most one Running thread machine-wide.
 func (s *coop) checkInvariants(op string) {
-	seen := make(map[*Thread]bool, len(s.queue))
-	for _, q := range s.queue {
-		if seen[q] {
-			panic(&ContractError{Op: op, Detail: "duplicate thread in run queue"})
-		}
-		seen[q] = true
-		if q.state != Ready {
-			panic(&ContractError{Op: op, Detail: "queued thread is " + q.state.String()})
+	seen := make(map[*Thread]bool)
+	for _, rq := range s.runqs {
+		for _, q := range rq.q {
+			if seen[q] {
+				panic(&ContractError{Op: op, Detail: "duplicate thread in run queue"})
+			}
+			seen[q] = true
+			if q.state != Ready {
+				panic(&ContractError{Op: op, Detail: "queued thread is " + q.state.String()})
+			}
 		}
 	}
 	running := 0
@@ -426,78 +672,35 @@ func (s *coop) checkInvariants(op string) {
 // CScheduler is the fast unverified cooperative scheduler.
 type CScheduler struct {
 	*coop
-	timers *Timers
 }
 
 // NewCScheduler returns the unverified scheduler.
 func NewCScheduler() *CScheduler {
 	s := &CScheduler{coop: newCoop(clock.CostCtxSwitch, 0, false)}
 	s.coop.self = s
-	s.timers = newTimers()
 	return s
 }
-
-// Spawn implements Scheduler.
-func (s *CScheduler) Spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
-	return s.spawn(name, cpu, body)
-}
-
-// Run implements Scheduler.
-func (s *CScheduler) Run() error { return s.run(s.timers) }
-
-// Timers implements Scheduler.
-func (s *CScheduler) Timers() *Timers { return s.timers }
-
-// Current implements Scheduler.
-func (s *CScheduler) Current() *Thread { return s.current }
-
-// ContextSwitches implements Scheduler.
-func (s *CScheduler) ContextSwitches() uint64 { return s.switches }
-
-// SwitchCost implements Scheduler.
-func (s *CScheduler) SwitchCost() uint64 { return s.switchCost }
 
 // VerifiedScheduler is the contract-checked port of the Dafny
 // scheduler.
 type VerifiedScheduler struct {
 	*coop
-	timers *Timers
 }
 
 // NewVerifiedScheduler returns the verified scheduler.
 func NewVerifiedScheduler() *VerifiedScheduler {
 	s := &VerifiedScheduler{coop: newCoop(clock.CostVerifiedCtxSwitch, clock.CostVerifiedSchedOpExtra, true)}
 	s.coop.self = s
-	s.timers = newTimers()
 	return s
 }
-
-// Spawn implements Scheduler.
-func (s *VerifiedScheduler) Spawn(name string, cpu *clock.CPU, body func(*Thread)) *Thread {
-	return s.spawn(name, cpu, body)
-}
-
-// Run implements Scheduler.
-func (s *VerifiedScheduler) Run() error { return s.run(s.timers) }
-
-// Timers implements Scheduler.
-func (s *VerifiedScheduler) Timers() *Timers { return s.timers }
-
-// Current implements Scheduler.
-func (s *VerifiedScheduler) Current() *Thread { return s.current }
 
 // CorruptQueueForDemo injects a duplicate run-queue entry, simulating
 // a stray cross-compartment write into scheduler state. The next
 // contract check catches it. For demos and tests only.
 func (s *VerifiedScheduler) CorruptQueueForDemo(t *Thread) {
-	s.queue = append(s.queue, t)
+	rq := s.runq(t.CPU)
+	rq.q = append(rq.q, t)
 }
-
-// ContextSwitches implements Scheduler.
-func (s *VerifiedScheduler) ContextSwitches() uint64 { return s.switches }
-
-// SwitchCost implements Scheduler.
-func (s *VerifiedScheduler) SwitchCost() uint64 { return s.switchCost }
 
 var (
 	_ Scheduler = (*CScheduler)(nil)

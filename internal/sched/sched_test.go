@@ -158,7 +158,7 @@ func TestVerifiedContractViolation(t *testing.T) {
 		// Corrupt the run queue the way a stray write from an
 		// untrusted compartment would, then call into the scheduler:
 		// the executable contract must catch it.
-		s.queue = append(s.queue, a) // duplicate of a running thread
+		s.CorruptQueueForDemo(a) // duplicate of a running thread
 		th.Yield()
 	})
 	err := s.Run()

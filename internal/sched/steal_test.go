@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+
+	"flexos/internal/clock"
+)
+
+// TestWorkStealFairness spawns a pile of CPU-bound threads all on
+// vCPU 0 of a 4-vCPU machine and checks that bounded work stealing
+// spreads them: the idle vCPUs steal from the loaded queue, every vCPU
+// ends up doing work, and no vCPU finishes wildly ahead of another.
+func TestWorkStealFairness(t *testing.T) {
+	s := NewCScheduler()
+	m := clock.NewMachine(4)
+	const (
+		threads = 8
+		rounds  = 200
+		work    = 1000
+	)
+	body := func(th *Thread) {
+		for i := 0; i < rounds; i++ {
+			th.CPU.Charge(clock.CompApp, work)
+			th.Yield()
+		}
+	}
+	for i := 0; i < threads; i++ {
+		s.Spawn("worker", m.CPU(0), body)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steals() == 0 {
+		t.Fatal("no steals: idle vCPUs never relieved the loaded queue")
+	}
+	var min, max uint64
+	for i, cpu := range m.CPUs() {
+		c := cpu.Cycles()
+		t.Logf("cpu%d: %d cycles", i, c)
+		if i == 0 || c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatalf("a vCPU did no work despite %d ready threads", threads)
+	}
+	if float64(max) > 2*float64(min) {
+		t.Errorf("unfair spread: fastest vCPU at %d cycles, slowest at %d", max, min)
+	}
+}
+
+// TestWorkStealPinned checks that pinned threads never migrate: with
+// only pinned work on vCPU 0, the other vCPUs stay empty and no steal
+// happens.
+func TestWorkStealPinned(t *testing.T) {
+	s := NewCScheduler()
+	m := clock.NewMachine(2)
+	body := func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			th.CPU.Charge(clock.CompApp, 100)
+			th.Yield()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		th := s.Spawn("pinned", m.CPU(0), body)
+		th.Pinned = true
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steals() != 0 {
+		t.Fatalf("stole %d pinned threads", s.Steals())
+	}
+	if c := m.CPU(1).Cycles(); c != 0 {
+		t.Fatalf("vCPU 1 ran %d cycles of pinned-elsewhere work", c)
+	}
+}
+
+// TestWorkStealDeterminism runs the same steal-heavy workload twice
+// and requires identical steal counts and per-vCPU cycle counters.
+func TestWorkStealDeterminism(t *testing.T) {
+	run := func() (uint64, []uint64) {
+		s := NewCScheduler()
+		m := clock.NewMachine(4)
+		body := func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				th.CPU.Charge(clock.CompApp, 500)
+				th.Yield()
+			}
+		}
+		for i := 0; i < 6; i++ {
+			s.Spawn("worker", m.CPU(0), body)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var cycles []uint64
+		for _, cpu := range m.CPUs() {
+			cycles = append(cycles, cpu.Cycles())
+		}
+		return s.Steals(), cycles
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 {
+		t.Errorf("steal count drifted: %d vs %d", s1, s2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("cpu%d cycles drifted: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}

@@ -66,7 +66,7 @@ var ErrNotInstrumented = errors.New("sh/asan: free of non-instrumented pointer")
 // 8-byte granule to model the real instrumentation).
 type ASAN struct {
 	arena  *mem.Arena
-	cpu    *clock.CPU
+	cpu    clock.Clock
 	shadow []byte
 	checks uint64
 	caught uint64
@@ -76,7 +76,7 @@ type ASAN struct {
 // allocated lazily on first use: un-hardened images never pay for it.
 // Memory starts addressable (unpoisoned), like un-instrumented
 // globals.
-func NewASAN(a *mem.Arena, cpu *clock.CPU) *ASAN {
+func NewASAN(a *mem.Arena, cpu clock.Clock) *ASAN {
 	return &ASAN{arena: a, cpu: cpu}
 }
 
@@ -148,7 +148,7 @@ type qentry struct {
 type Allocator struct {
 	inner      mem.Allocator
 	asan       *ASAN
-	cpu        *clock.CPU
+	cpu        clock.Clock
 	live       map[mem.Addr]qentry // user addr -> record
 	quarantine []qentry
 }
@@ -156,7 +156,7 @@ type Allocator struct {
 var _ mem.Allocator = (*Allocator)(nil)
 
 // NewAllocator wraps inner with ASAN instrumentation.
-func NewAllocator(inner mem.Allocator, asan *ASAN, cpu *clock.CPU) *Allocator {
+func NewAllocator(inner mem.Allocator, asan *ASAN, cpu clock.Clock) *Allocator {
 	return &Allocator{inner: inner, asan: asan, cpu: cpu, live: make(map[mem.Addr]qentry)}
 }
 

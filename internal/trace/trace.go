@@ -11,15 +11,18 @@ import "fmt"
 type Event struct {
 	Seq    uint64
 	Cycles uint64
-	Kind   string // "crossing", "pkfault", ...
-	From   string
-	To     string
-	Note   string
+	// CPU is the vCPU the event occurred on (always 0 on a single-core
+	// machine).
+	CPU  int
+	Kind string // "crossing", "pkfault", ...
+	From string
+	To   string
+	Note string
 }
 
 // String implements fmt.Stringer.
 func (e Event) String() string {
-	s := fmt.Sprintf("#%d @%dcy %s %s->%s", e.Seq, e.Cycles, e.Kind, e.From, e.To)
+	s := fmt.Sprintf("#%d @%dcy cpu%d %s %s->%s", e.Seq, e.Cycles, e.CPU, e.Kind, e.From, e.To)
 	if e.Note != "" {
 		s += " (" + e.Note + ")"
 	}
