@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	benchdiff [-baseline BENCH_gate.json] [-input saved-bench.txt]
+//	benchdiff [-baseline BENCH_gate.json] [-input saved-bench.txt] [-json benchdiff.json]
+//
+// -json writes the per-entry comparison (baseline, median, delta,
+// tolerance, status) as machine-readable JSON — the CI artifact other
+// tooling diffs across runs. When $GITHUB_STEP_SUMMARY is set the same
+// comparison is appended there as a markdown table, so every PR shows
+// the bench gate's verdict inline.
 //
 // Without -input it runs
 //
@@ -50,10 +56,34 @@ type baseline struct {
 	Entries      map[string][]check `json:"entries"`
 }
 
+// result is one metric's comparison outcome, exported via -json and
+// the GitHub step summary.
+type result struct {
+	Benchmark    string  `json:"benchmark"`
+	Metric       string  `json:"metric"`
+	Baseline     float64 `json:"baseline"`
+	Median       float64 `json:"median"`
+	DeltaPct     float64 `json:"delta_pct"`
+	TolerancePct float64 `json:"tolerance_pct"`
+	Direction    string  `json:"direction"`
+	// Status is "ok", "fail" or "missing".
+	Status string `json:"status"`
+}
+
+// report is the -json document.
+type report struct {
+	BaselineFile string   `json:"baseline_file"`
+	Protocol     string   `json:"protocol"`
+	ThresholdPct float64  `json:"threshold_pct"`
+	Results      []result `json:"results"`
+	Failures     int      `json:"failures"`
+}
+
 func main() {
 	baseFile := flag.String("baseline", "BENCH_gate.json", "baseline file")
 	input := flag.String("input", "", "check a saved go test -bench output instead of running")
 	count := flag.Int("count", 3, "bench -count when running")
+	jsonOut := flag.String("json", "", "write the per-entry comparison as JSON to this file")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseFile)
@@ -74,7 +104,7 @@ func main() {
 		}
 	}
 	medians := parseBenchOutput(out)
-	failures := 0
+	rep := report{BaselineFile: *baseFile, Protocol: base.Protocol, ThresholdPct: base.ThresholdPct}
 	fmt.Printf("%-44s %-12s %12s %12s %8s %s\n",
 		"benchmark", "metric", "baseline", "median", "delta", "status")
 	names := make([]string, 0, len(base.Entries))
@@ -84,17 +114,24 @@ func main() {
 	sort.Strings(names)
 	for _, name := range names {
 		for _, c := range base.Entries[name] {
-			med, ok := medians[name][c.Metric]
-			if !ok {
-				fmt.Printf("%-44s %-12s %12.1f %12s %8s MISSING\n",
-					name, c.Metric, c.Value, "-", "-")
-				failures++
-				continue
-			}
 			tol := c.TolerancePct
 			if tol == 0 {
 				tol = base.ThresholdPct
 			}
+			r := result{
+				Benchmark: name, Metric: c.Metric, Baseline: c.Value,
+				TolerancePct: tol, Direction: c.Direction, Status: "ok",
+			}
+			med, ok := medians[name][c.Metric]
+			if !ok {
+				fmt.Printf("%-44s %-12s %12.1f %12s %8s MISSING\n",
+					name, c.Metric, c.Value, "-", "-")
+				r.Status = "missing"
+				rep.Failures++
+				rep.Results = append(rep.Results, r)
+				continue
+			}
+			r.Median = med
 			var delta float64
 			var regressed bool
 			if c.Value == 0 {
@@ -108,20 +145,79 @@ func main() {
 					regressed = delta < -tol
 				}
 			}
+			r.DeltaPct = delta
 			status := "ok"
 			if regressed {
 				status = fmt.Sprintf("FAIL (>%g%%)", tol)
-				failures++
+				r.Status = "fail"
+				rep.Failures++
 			}
 			fmt.Printf("%-44s %-12s %12.1f %12.1f %+7.1f%% %s\n",
 				name, c.Metric, c.Value, med, delta, status)
+			rep.Results = append(rep.Results, r)
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond tolerance\n", failures)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, &rep); err != nil {
+			fatal(err)
+		}
+	}
+	if err := writeStepSummary(&rep); err != nil {
+		fatal(err)
+	}
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond tolerance\n", rep.Failures)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: all metrics within tolerance")
+}
+
+// writeJSON writes the machine-readable comparison.
+func writeJSON(path string, rep *report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeStepSummary appends a markdown table of the comparison to
+// $GITHUB_STEP_SUMMARY when set (no-op elsewhere), so the gate's
+// verdict renders on the PR's checks page.
+func writeStepSummary(rep *report) error {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	verdict := "all metrics within tolerance ✅"
+	if rep.Failures > 0 {
+		verdict = fmt.Sprintf("%d metric(s) regressed beyond tolerance ❌", rep.Failures)
+	}
+	fmt.Fprintf(&b, "### Bench regression gate (%s)\n\n%s\n\n", rep.BaselineFile, verdict)
+	b.WriteString("| benchmark | metric | baseline | median | delta | tolerance | status |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---|\n")
+	for _, r := range rep.Results {
+		med, delta := "-", "-"
+		if r.Status != "missing" {
+			med = fmt.Sprintf("%.1f", r.Median)
+			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		}
+		status := r.Status
+		if r.Status != "ok" {
+			status = "**" + r.Status + "**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.1f | %s | %s | %g%% | %s |\n",
+			r.Benchmark, r.Metric, r.Baseline, med, delta, r.TolerancePct, status)
+	}
+	b.WriteString("\n")
+	_, err = f.WriteString(b.String())
+	return err
 }
 
 func fatal(err error) {

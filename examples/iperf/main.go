@@ -7,9 +7,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"flexos"
@@ -26,7 +28,15 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N domain crossings (each line shows the vCPU it ran on)")
 	smp := flag.Int("smp", 1, "number of vCPUs (SMP machine with one RSS NIC queue per vCPU)")
 	streams := flag.Int("streams", 1, "parallel connections (iperf -P); forces the multi-stream path when > 1 or -smp > 1")
+	profile := flag.String("profile", "", "write the run's timeline as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	flag.Parse()
+
+	// -profile needs the event stream; keep a deep ring even when the
+	// user didn't ask to print one.
+	traceCap := *traceN
+	if *profile != "" && traceCap < 8192 {
+		traceCap = 8192
+	}
 
 	backend, err := flexos.ParseBackend(*backendName)
 	if err != nil {
@@ -62,7 +72,7 @@ func main() {
 
 	if *smp > 1 || *streams > 1 {
 		cfg.Smp = *smp
-		r, ring, err := flexos.RunIperfParallelTraced(cfg, *streams, *total, *buf, *traceN)
+		r, ring, err := flexos.RunIperfParallelTraced(cfg, *streams, *total, *buf, traceCap)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,11 +88,14 @@ func main() {
 			fmt.Printf("  vmm-stall: %d cycles", r.RPCStalled)
 		}
 		fmt.Println()
-		printRing(ring)
+		if *traceN > 0 {
+			printRing(ring)
+		}
+		writeProfile(*profile, ring, r.VCPUs)
 		return
 	}
 
-	res, ring, err := flexos.RunIperfTraced(cfg, *total, *buf, *traceN)
+	res, ring, err := flexos.RunIperfTraced(cfg, *total, *buf, traceCap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +109,29 @@ func main() {
 		fmt.Printf("    %-10s %12d (%5.1f%%)\n", comp, cyc,
 			100*float64(cyc)/float64(res.ServerCycles))
 	}
-	printRing(ring)
+	if *traceN > 0 {
+		printRing(ring)
+	}
+	writeProfile(*profile, ring, 1)
+}
+
+// writeProfile exports the ring's events as a Chrome trace-event
+// timeline (no-op without -profile).
+func writeProfile(path string, ring *flexos.TraceRing, ncpu int) {
+	if path == "" || ring == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := flexos.ExportChrome(&buf, ring.Events(), ncpu); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  profile: %d events written to %s (load in chrome://tracing)\n", ring.Len(), path)
+	if d := ring.Dropped(); d > 0 {
+		fmt.Printf("  profile: %d older events dropped from the timeline (bounded ring)\n", d)
+	}
 }
 
 // printRing dumps a crossing trace (each line shows the vCPU the event

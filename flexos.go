@@ -27,6 +27,8 @@
 package flexos
 
 import (
+	"io"
+
 	"flexos/internal/core/build"
 	"flexos/internal/core/coloring"
 	"flexos/internal/core/compat"
@@ -35,6 +37,7 @@ import (
 	"flexos/internal/core/spec"
 	"flexos/internal/harness"
 	"flexos/internal/mem"
+	"flexos/internal/metrics"
 	"flexos/internal/net"
 	"flexos/internal/sh"
 	"flexos/internal/trace"
@@ -251,3 +254,37 @@ func RunIperfParallelTraced(cfg Config, streams, totalBytes, recvBuf, traceCap i
 func RunRedis(cfg Config, op RedisOp, payloadBytes, ops int) (*RedisResult, error) {
 	return harness.RunRedis(cfg, op, payloadBytes, ops)
 }
+
+// Observability layer: cycle attribution and timeline export.
+type (
+	// Attribution is a complete cycle-attribution breakdown of one
+	// machine's run; Check() enforces that every cycle of capacity
+	// (makespan × vCPUs) is accounted for. IperfResult.Attr and
+	// SmpRun.Attr carry one per measured run.
+	Attribution = metrics.Attribution
+	// AttributionSummary is the compact crossing/compute/stall split.
+	AttributionSummary = metrics.Summary
+	// MetricsSnapshot is a deterministic copy of a machine's live
+	// counters and histograms (gate crossings, NIC queues, pool,
+	// supervisor).
+	MetricsSnapshot = metrics.Snapshot
+	// Observation bundles one instrumented run's attribution, metrics
+	// snapshot and crossing trace.
+	Observation = harness.Observation
+)
+
+// ObserveFor runs one instrumented measurement per image of the named
+// experiment ("smp" or any other) and returns the observability
+// bundles, each conservation-checked.
+func ObserveFor(exp string, quick bool) ([]Observation, error) {
+	return harness.ObserveFor(exp, quick)
+}
+
+// ExportChrome writes events as a Chrome trace-event JSON document
+// (load in chrome://tracing or Perfetto); one timeline row per vCPU.
+func ExportChrome(w io.Writer, events []TraceEvent, ncpu int) error {
+	return trace.ExportChrome(w, events, ncpu)
+}
+
+// TraceEvent is one recorded simulator event.
+type TraceEvent = trace.Event

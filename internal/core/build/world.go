@@ -10,6 +10,7 @@ import (
 	"flexos/internal/fault"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
+	"flexos/internal/metrics"
 	"flexos/internal/mpk"
 	"flexos/internal/net"
 	"flexos/internal/rt"
@@ -65,9 +66,15 @@ type Machine struct {
 	// Sup applies per-compartment fault policy (Config.OnFault) to
 	// every supervised gate call on this machine.
 	Sup *rt.Supervisor
+	// Metrics is the machine's always-on observability registry: live
+	// crossing counters and per-(pair, vCPU) call-latency histograms
+	// fed from the gate meter. Unlike the bounded trace ring these
+	// never drop, so attribution stays exact under any event rate.
+	Metrics *metrics.Registry
 
-	envs  map[string]*rt.Env
-	comps []Compartment
+	envs   map[string]*rt.Env
+	comps  []Compartment
+	compOf map[clock.Component]string // component -> owning compartment
 }
 
 // World is a server machine wired to a load-generating client, both
@@ -311,6 +318,46 @@ func newMachine(cfg Config, comps []Compartment, s sched.Scheduler, ip net.IPAdd
 		}
 	}
 
+	// --- always-on metrics -----------------------------------------
+	// Live crossing counters and call-latency histograms, per
+	// (compartment pair, vCPU). Instruments are resolved once per key
+	// and cached; the meter itself is two counter adds and one
+	// histogram observe — no allocation after the first crossing of a
+	// pair on a vCPU.
+	m.Metrics = metrics.NewRegistry()
+	m.compOf = make(map[clock.Component]string, len(libComponents))
+	for _, c := range comps {
+		for _, l := range c.Libraries {
+			m.compOf[libComponents[l]] = c.Name
+		}
+	}
+	backend := cfg.Backend.String()
+	type meterKey struct {
+		from, to string
+		cpu      int
+	}
+	type meterInst struct {
+		crossings, frames *metrics.Counter
+		cycles            *metrics.Histogram
+	}
+	insts := make(map[meterKey]*meterInst)
+	m.Registry.SetMeter(m.Clock, func(fromComp, toComp string, cpu int, cycles uint64, frames int) {
+		k := meterKey{fromComp, toComp, cpu}
+		in, ok := insts[k]
+		if !ok {
+			l := metrics.Label{Comp: fromComp + "->" + toComp, Backend: backend, CPU: cpu}
+			in = &meterInst{
+				crossings: m.Metrics.Counter("gate_crossings", l),
+				frames:    m.Metrics.Counter("gate_frames", l),
+				cycles:    m.Metrics.Histogram("gate_call_cycles", l),
+			}
+			insts[k] = in
+		}
+		in.crossings.Inc()
+		in.frames.Add(uint64(frames))
+		in.cycles.Observe(cycles)
+	})
+
 	// --- per-library runtime environments --------------------------
 	for _, l := range DefaultLibraries {
 		var hard *sh.Hardener
@@ -433,6 +480,62 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 		})
 	})
 	return ring
+}
+
+// Attribution computes the machine's cycle-attribution breakdown from
+// the clock's per-vCPU ledgers: every cycle of capacity (makespan ×
+// vCPUs) assigned to a (vCPU, component, compartment) row. It reads
+// the live ledgers, never the bounded trace ring, so it stays exact
+// when tracing has dropped events (or was never enabled).
+func (m *Machine) Attribution() *metrics.Attribution {
+	return metrics.Attribute(m.Clock, func(c clock.Component) string { return m.compOf[c] })
+}
+
+// MetricsSnapshot copies the live instruments — gate crossing counters
+// and latency histograms from the meter, plus the plain-field counters
+// kept on the NIC, shared pool and supervisor — into one deterministic
+// export-ready snapshot.
+func (m *Machine) MetricsSnapshot() *metrics.Snapshot {
+	s := m.Metrics.Snapshot()
+	backend := m.Config.Backend.String()
+	mw := func(comp string) metrics.Label {
+		return metrics.Label{Comp: comp, Backend: backend, CPU: -1}
+	}
+	if nic := m.Stack.NIC(); nic != nil {
+		for q := 0; q < m.Stack.NumQueues(); q++ {
+			l := metrics.Label{Comp: fmt.Sprintf("queue%d", q), Backend: backend, CPU: m.Stack.QueueCPU(q)}
+			s.Add("nic_tx_frames", l, nic.QueueTx(q))
+			s.Add("nic_rx_frames", l, nic.QueueRx(q))
+			s.Add("nic_tx_coalesced", l, nic.QueueCoalescedTx(q))
+			s.Add("nic_rx_coalesced", l, nic.QueueCoalescedRx(q))
+		}
+		s.Add("nic_doorbells", mw("nic"), nic.Doorbells())
+		s.Add("nic_rx_polls", mw("nic"), nic.RxPolls())
+	}
+	ps := m.Pool.Stats()
+	pl := mw("pool")
+	s.Add("pool_gets", pl, ps.Gets)
+	s.Add("pool_refs", pl, ps.Refs)
+	s.Add("pool_releases", pl, ps.Releases)
+	s.Add("pool_recycles", pl, ps.Recycles)
+	s.Add("pool_failed_gets", pl, ps.FailedGets)
+	s.Add("pool_reclaims", pl, ps.Reclaims)
+	ss := m.Sup.Stats()
+	sl := mw("supervisor")
+	s.Add("sup_traps", sl, ss.Traps)
+	s.Add("sup_recoveries", sl, ss.Recoveries)
+	s.Add("sup_retries", sl, ss.Retries)
+	s.Add("sup_aborts", sl, ss.Aborts)
+	s.Add("sup_degrades", sl, ss.Degrades)
+	s.Add("sup_recovery_cycles", sl, ss.RecoveryCycles)
+	s.Add("sup_sheds", sl, ss.Sheds)
+	s.Add("sup_blocked", sl, ss.Blocked)
+	s.Add("sup_deadline_traps", sl, ss.DeadlineTraps)
+	s.Add("sup_breaker_fastfails", sl, ss.BreakerFastFails)
+	s.Add("sup_breaker_opens", sl, ss.BreakerOpens)
+	s.Add("sup_breaker_closes", sl, ss.BreakerCloses)
+	s.Sort()
+	return s
 }
 
 // InjectFaults arms a deterministic fault injector on this machine's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"flexos/internal/clock"
 	"flexos/internal/fault"
 )
 
@@ -22,6 +23,8 @@ type Registry struct {
 	tracer    func(fromComp, toComp string)
 	observer  func(fromLib, toLib, fn string)
 	injector  *fault.Injector
+	meterClk  clock.Clock
+	meter     func(fromComp, toComp string, cpu int, cycles uint64, frames int)
 }
 
 // SetTracer installs a callback invoked on every inter-compartment
@@ -32,6 +35,18 @@ func (r *Registry) SetTracer(fn func(fromComp, toComp string)) { r.tracer = fn }
 // call, including intra-compartment ones — the dynamic-analysis tap
 // the metadata generator records from (nil disables).
 func (r *Registry) SetObserver(fn func(fromLib, toLib, fn string)) { r.observer = fn }
+
+// SetMeter installs the metrics hook invoked after every
+// inter-compartment crossing with the vCPU it started on and the
+// measured cycle cost of the whole call (crossing plus callee work, as
+// seen by that vCPU's counter). frames is 1 for a plain call and the
+// batch size for one amortized CallBatch crossing. Unlike the trace
+// ring, the meter's consumers keep *live counters* — they never drop
+// under load — which is what the attribution path reads. nil disables
+// metering.
+func (r *Registry) SetMeter(clk clock.Clock, fn func(fromComp, toComp string, cpu int, cycles uint64, frames int)) {
+	r.meterClk, r.meter = clk, fn
+}
 
 // SetInjector installs a deterministic fault injector fired at every
 // call entry, direct or crossing (nil disables). An injected trap on a
@@ -150,6 +165,12 @@ func (r *Registry) CallWithFrame(fromLib, toLib, fnName string, frame CallFrame,
 	if r.tracer != nil {
 		r.tracer(cf, ct)
 	}
+	if r.meter != nil {
+		cpu, start := r.meterClk.CurID(), r.meterClk.Cycles()
+		err := r.cross.Call(r.domains[cf], r.domains[ct], frame, inner)
+		r.meter(cf, ct, cpu, r.meterClk.Cycles()-start, 1)
+		return err
+	}
 	return r.cross.Call(r.domains[cf], r.domains[ct], frame, inner)
 }
 
@@ -203,6 +224,12 @@ func (r *Registry) CallBatch(fromLib, toLib, fnName string, frames []CallFrame, 
 			if r.tracer != nil {
 				r.tracer(cf, ct)
 			}
+			if r.meter != nil {
+				cpu, start := r.meterClk.CurID(), r.meterClk.Cycles()
+				errs[i] = r.cross.Call(r.domains[cf], r.domains[ct], frames[i], inners[i])
+				r.meter(cf, ct, cpu, r.meterClk.Cycles()-start, 1)
+				continue
+			}
 			errs[i] = r.cross.Call(r.domains[cf], r.domains[ct], frames[i], inners[i])
 		}
 		return errs
@@ -211,6 +238,12 @@ func (r *Registry) CallBatch(fromLib, toLib, fnName string, frames []CallFrame, 
 	r.pairCount[[2]string{cf, ct}]++
 	if r.tracer != nil {
 		r.tracer(cf, ct)
+	}
+	if r.meter != nil {
+		cpu, start := r.meterClk.CurID(), r.meterClk.Cycles()
+		errs = bg.CallBatch(r.domains[cf], r.domains[ct], frames, inners)
+		r.meter(cf, ct, cpu, r.meterClk.Cycles()-start, len(frames))
+		return errs
 	}
 	return bg.CallBatch(r.domains[cf], r.domains[ct], frames, inners)
 }

@@ -174,8 +174,8 @@ func FormatDataPath(r *DataPathResult) string {
 func FormatSmp(r *SmpResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SMP: %d-stream parallel iperf, throughput per vCPU count\n", r.Streams)
-	fmt.Fprintf(&b, "%-18s %6s %12s %9s %8s %8s %10s\n",
-		"image", "vcpus", "Mb/s", "speedup", "steals", "ipis", "rpc-stall")
+	fmt.Fprintf(&b, "%-18s %6s %12s %9s %8s %8s %10s %9s %8s\n",
+		"image", "vcpus", "Mb/s", "speedup", "steals", "ipis", "rpc-stall", "crossing", "stall")
 	for _, s := range r.Series {
 		for _, p := range s.Points {
 			speedup := "-"
@@ -186,8 +186,9 @@ func FormatSmp(r *SmpResult) string {
 			if p.StallPct > 0 {
 				stall = fmt.Sprintf("%.1f%%", p.StallPct)
 			}
-			fmt.Fprintf(&b, "%-18s %6d %12.1f %9s %8d %8d %10s\n",
-				s.Label, p.VCPUs, p.Mbps, speedup, p.Steals, p.IPIs, stall)
+			fmt.Fprintf(&b, "%-18s %6d %12.1f %9s %8d %8d %10s %8.1f%% %7.1f%%\n",
+				s.Label, p.VCPUs, p.Mbps, speedup, p.Steals, p.IPIs, stall,
+				p.Attr.CrossingPct, p.Attr.StallPct)
 		}
 	}
 	return b.String()

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"flexos/internal/core/build"
+	"flexos/internal/core/gate"
+	"flexos/internal/metrics"
+	"flexos/internal/trace"
+)
+
+// Observation bundles one instrumented run's full observability
+// output: the cycle-attribution breakdown (from the live clock
+// ledgers), the metrics snapshot (live gate/NIC/pool/supervisor
+// counters), and the crossing trace for timeline export. The trace is
+// bounded and may drop events under load; the attribution and
+// snapshot never do — TestAttributionSurvivesSaturatedRing pins that.
+type Observation struct {
+	Label   string `json:"label"`
+	Backend string `json:"backend"`
+	VCPUs   int    `json:"vcpus"`
+	// Attr conserves capacity exactly: Attr.Check() == nil.
+	Attr     *metrics.Attribution `json:"attribution"`
+	Snapshot *metrics.Snapshot    `json:"snapshot"`
+	// Events is the retained tail of the crossing trace.
+	Events []trace.Event `json:"-"`
+	// TotalEvents / DroppedEvents report trace-ring pressure: Dropped
+	// > 0 means the Chrome timeline is a suffix of the run, while the
+	// attribution above still covers all of it.
+	TotalEvents   uint64 `json:"trace_events_total"`
+	DroppedEvents uint64 `json:"trace_events_dropped"`
+}
+
+// observeTraceCap bounds each observed run's crossing trace. Big
+// enough for a useful timeline, small enough that a long run saturates
+// it — which is fine, because nothing numeric is derived from it.
+const observeTraceCap = 8192
+
+// observationOf assembles the exported bundle from a finished world.
+func observationOf(label string, cfg build.Config, w *build.World, ring *trace.Ring, attr *metrics.Attribution) Observation {
+	o := Observation{
+		Label:    label,
+		Backend:  cfg.Backend.String(),
+		VCPUs:    w.Server.Clock.NCPU(),
+		Attr:     attr,
+		Snapshot: w.Server.MetricsSnapshot(),
+	}
+	if ring != nil {
+		o.Events = ring.Events()
+		o.TotalEvents = ring.Total()
+		o.DroppedEvents = ring.Dropped()
+	}
+	return o
+}
+
+// ObserveFor runs one instrumented, traced measurement per
+// configuration of the named experiment and returns the observability
+// bundles. "smp" observes the SMP sweep's three images at the sweep's
+// largest vCPU count; every other experiment name observes the five
+// isolation backends on the single-stream iperf workload. Each
+// observation's attribution is conservation-checked before return.
+func ObserveFor(exp string, quick bool) ([]Observation, error) {
+	var out []Observation
+	if exp == "smp" {
+		const (
+			total   = 8 << 20
+			recvBuf = 16 << 10
+		)
+		vcpus := SmpVCPUs(quick)
+		n := vcpus[len(vcpus)-1]
+		for _, base := range smpConfigs() {
+			cfg := base
+			if n > 1 {
+				cfg.Smp = n
+			}
+			r, ring, w, err := runIperfParallelWorld(cfg, SmpStreams, total, recvBuf, observeTraceCap)
+			if err != nil {
+				return nil, fmt.Errorf("observe smp %s: %w", base.Name, err)
+			}
+			o := observationOf(fmt.Sprintf("%s @%d vCPUs", base.Name, n), cfg, w, ring, r.Attr)
+			if err := o.Attr.Check(); err != nil {
+				return nil, fmt.Errorf("observe smp %s: %w", base.Name, err)
+			}
+			out = append(out, o)
+		}
+		return out, nil
+	}
+	// Default: the five backends over the NW-only plan, single stream.
+	configs := []build.Config{
+		{Name: "funccall NW-only", Compartments: build.NWOnly(),
+			Backend: gate.FuncCall, Alloc: build.AllocPerCompartment},
+		{Name: "mpk-shared NW-only", Compartments: build.NWOnly(),
+			Backend: gate.MPKShared, Alloc: build.AllocPerCompartment},
+		{Name: "mpk-switched NW-only", Compartments: build.NWOnly(),
+			Backend: gate.MPKSwitched, Alloc: build.AllocPerCompartment},
+		{Name: "vm-rpc NW-only", Compartments: build.NWOnly(),
+			Backend: gate.VMRPC, Alloc: build.AllocPerCompartment},
+		{Name: "cheri NW-only", Compartments: build.NWOnly(),
+			Backend: gate.CHERI, Alloc: build.AllocPerCompartment},
+	}
+	total := 1 << 20
+	if quick {
+		total = 256 << 10
+	}
+	for _, cfg := range configs {
+		r, ring, w, err := runIperfWorld(cfg, total, 16<<10, observeTraceCap)
+		if err != nil {
+			return nil, fmt.Errorf("observe %s: %w", cfg.Name, err)
+		}
+		o := observationOf(cfg.Name, cfg, w, ring, r.Attr)
+		if err := o.Attr.Check(); err != nil {
+			return nil, fmt.Errorf("observe %s: %w", cfg.Name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"flexos/internal/core/build"
+	"flexos/internal/core/gate"
+	"flexos/internal/trace"
+)
+
+// TestAttributionConservation is the observability layer's core
+// invariant, across every isolation backend at 1 and 4 vCPUs: the
+// attribution assigns every cycle of machine capacity (makespan ×
+// vCPUs) to exactly one (vCPU, component) row — per-vCPU sums equal
+// the makespan (trailing idle included), and the total equals the
+// machine's elapsed time times its vCPU count.
+func TestAttributionConservation(t *testing.T) {
+	backends := []gate.Backend{
+		gate.FuncCall, gate.MPKShared, gate.MPKSwitched, gate.VMRPC, gate.CHERI,
+	}
+	for _, b := range backends {
+		for _, smp := range []int{1, 4} {
+			b, smp := b, smp
+			t.Run(b.String()+"/"+string(rune('0'+smp))+"vcpu", func(t *testing.T) {
+				cfg := build.Config{
+					Name: "conservation", Compartments: build.NWOnly(),
+					Backend: b, Alloc: build.AllocPerCompartment,
+				}
+				if smp > 1 {
+					cfg.Smp = smp
+				}
+				r, _, w, err := runIperfParallelWorld(cfg, 4, 1<<20, 16<<10, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := r.Attr
+				if a == nil {
+					t.Fatal("no attribution on SmpRun")
+				}
+				if a.VCPUs != smp {
+					t.Fatalf("attribution covers %d vCPUs, want %d", a.VCPUs, smp)
+				}
+				if a.Makespan != w.Server.Clock.Makespan() {
+					t.Fatalf("attribution makespan %d != clock elapsed %d",
+						a.Makespan, w.Server.Clock.Makespan())
+				}
+				if err := a.Check(); err != nil {
+					t.Fatalf("conservation: %v", err)
+				}
+				if got, want := a.Attributed(), a.Makespan*uint64(smp); got != want {
+					t.Fatalf("attributed %d cycles, capacity is %d", got, want)
+				}
+				// A compartmentalized run must show crossing-class work.
+				if by := a.ByClass(); by["crossing"] == 0 {
+					t.Fatalf("no crossing-class cycles on backend %s: %v", b, by)
+				}
+			})
+		}
+	}
+}
+
+// TestAttributionSurvivesSaturatedRing pins the live-counter fix: with
+// a trace ring far too small for the run (so it drops most events),
+// the attribution and the metrics snapshot must still be exact — they
+// read the clock ledgers and live gate counters, never the ring.
+func TestAttributionSurvivesSaturatedRing(t *testing.T) {
+	cfg := build.Config{
+		Name: "saturated", Compartments: build.NWOnly(),
+		Backend: gate.MPKShared, Alloc: build.AllocPerCompartment, Smp: 4,
+	}
+	const tinyRing = 8
+	r, ring, w, err := runIperfParallelWorld(cfg, 4, 1<<20, 16<<10, tinyRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Dropped() == 0 {
+		t.Fatalf("ring of %d held all %d events; the test needs saturation", tinyRing, ring.Total())
+	}
+	if err := r.Attr.Check(); err != nil {
+		t.Fatalf("attribution lost cycles under a saturated ring: %v", err)
+	}
+	snap := w.Server.MetricsSnapshot()
+	if got, want := snap.Counter("gate_crossings"), w.Server.Registry.TotalCrossings(); got != want {
+		t.Fatalf("metered crossings %d != registry crossings %d (ring dropped %d)",
+			got, want, ring.Dropped())
+	}
+	if snap.Counter("gate_frames") < snap.Counter("gate_crossings") {
+		t.Fatalf("frames %d < crossings %d", snap.Counter("gate_frames"), snap.Counter("gate_crossings"))
+	}
+	// The same run untraced attributes identically: tracing is
+	// observation, not perturbation.
+	r2, _, _, err := runIperfParallelWorld(cfg, 4, 1<<20, 16<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Attr.Attributed() != r2.Attr.Attributed() || r.Attr.Makespan != r2.Attr.Makespan {
+		t.Fatalf("traced run attributed %d cy (makespan %d), untraced %d cy (makespan %d)",
+			r.Attr.Attributed(), r.Attr.Makespan, r2.Attr.Attributed(), r2.Attr.Makespan)
+	}
+}
+
+// TestObserveForSmp exercises the binary-facing bundle: conservation
+// holds, snapshots carry the live counters, and the trace exports to a
+// valid Chrome trace-event document.
+func TestObserveForSmp(t *testing.T) {
+	obs, err := ObserveFor("smp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != len(smpConfigs()) {
+		t.Fatalf("observed %d images, want %d", len(obs), len(smpConfigs()))
+	}
+	for _, o := range obs {
+		if err := o.Attr.Check(); err != nil {
+			t.Fatalf("%s: %v", o.Label, err)
+		}
+		if o.Snapshot.Counter("gate_crossings") == 0 {
+			t.Fatalf("%s: no live crossing counters in snapshot", o.Label)
+		}
+		var buf bytes.Buffer
+		if err := trace.ExportChrome(&buf, o.Events, o.VCPUs); err != nil {
+			t.Fatalf("%s: export: %v", o.Label, err)
+		}
+		if _, err := trace.ValidateChrome(buf.Bytes()); err != nil {
+			t.Fatalf("%s: exported trace invalid: %v", o.Label, err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"flexos/internal/app/redis"
 	"flexos/internal/clock"
 	"flexos/internal/core/build"
+	"flexos/internal/metrics"
 	"flexos/internal/net"
 	"flexos/internal/sched"
 	"flexos/internal/trace"
@@ -33,6 +34,10 @@ type IperfResult struct {
 	Gbps         float64
 	Crossings    uint64
 	ByComponent  map[clock.Component]uint64
+	// Attr is the server machine's full cycle-attribution breakdown,
+	// computed from the live clock ledgers (never the trace ring), so
+	// it conserves capacity exactly: Attr.Check() == nil.
+	Attr *metrics.Attribution
 }
 
 // RunIperf runs one iperf transfer over a world built from cfg and
@@ -45,12 +50,20 @@ func RunIperf(cfg build.Config, totalBytes, recvBuf int) (*IperfResult, error) {
 // RunIperfTraced is RunIperf with an optional server-side crossing
 // trace holding the last traceCap events (0 disables tracing).
 func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*IperfResult, *trace.Ring, error) {
+	r, ring, _, err := runIperfWorld(cfg, totalBytes, recvBuf, traceCap)
+	return r, ring, err
+}
+
+// runIperfWorld is the world-returning core of RunIperfTraced, shared
+// with the observability entry points that need the built machines
+// (metrics snapshots, registry counters) alongside the result.
+func runIperfWorld(cfg build.Config, totalBytes, recvBuf, traceCap int) (*IperfResult, *trace.Ring, *build.World, error) {
 	// The evaluation images use the socket API over the tcpip thread,
 	// as Unikraft's lwip port does.
 	cfg.Net.SocketMode = net.TCPIPThreadMode
 	w, err := build.NewWorld(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var ring *trace.Ring
 	if traceCap > 0 {
@@ -67,19 +80,19 @@ func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*Iperf
 		cliErr = cli.Run(th)
 	})
 	if err := w.Sched.Run(); err != nil {
-		return nil, nil, fmt.Errorf("harness iperf: %w", err)
+		return nil, nil, nil, fmt.Errorf("harness iperf: %w", err)
 	}
 	if srvErr != nil {
-		return nil, nil, fmt.Errorf("harness iperf server: %w", srvErr)
+		return nil, nil, nil, fmt.Errorf("harness iperf server: %w", srvErr)
 	}
 	if cliErr != nil {
-		return nil, nil, fmt.Errorf("harness iperf client: %w", cliErr)
+		return nil, nil, nil, fmt.Errorf("harness iperf client: %w", cliErr)
 	}
 	if srv.BytesReceived != uint64(totalBytes) {
-		return nil, nil, fmt.Errorf("harness iperf: received %d of %d bytes", srv.BytesReceived, totalBytes)
+		return nil, nil, nil, fmt.Errorf("harness iperf: received %d of %d bytes", srv.BytesReceived, totalBytes)
 	}
 	if err := checkPoolLeaks(w); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cycles := w.Server.CPU.Cycles()
 	return &IperfResult{
@@ -90,7 +103,8 @@ func RunIperfTraced(cfg build.Config, totalBytes, recvBuf, traceCap int) (*Iperf
 		Gbps:         clock.GbpsFor(srv.BytesReceived, cycles),
 		Crossings:    w.Server.Registry.TotalCrossings(),
 		ByComponent:  w.Server.CPU.ByComponent(),
-	}, ring, nil
+		Attr:         w.Server.Attribution(),
+	}, ring, w, nil
 }
 
 // checkPoolLeaks enforces the shared pool's zero-leak invariant on

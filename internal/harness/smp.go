@@ -8,6 +8,7 @@ import (
 	"flexos/internal/clock"
 	"flexos/internal/core/build"
 	"flexos/internal/core/gate"
+	"flexos/internal/metrics"
 	"flexos/internal/net"
 	"flexos/internal/sched"
 	"flexos/internal/trace"
@@ -36,6 +37,10 @@ type SmpRun struct {
 	// server's cross gate — nonzero only on VM-RPC, where one VMM
 	// endpoint services every vCPU in turn.
 	RPCStalled uint64
+	// Attr is the server machine's cycle-attribution breakdown: every
+	// cycle of capacity (makespan × vCPUs) assigned to a (vCPU,
+	// component, compartment) row, read from the live clock ledgers.
+	Attr *metrics.Attribution
 }
 
 // RunIperfParallel runs a Streams-way parallel iperf transfer
@@ -54,13 +59,20 @@ func RunIperfParallel(cfg build.Config, streams, totalBytes, recvBuf int) (*SmpR
 // disables tracing). The determinism test replays a run and compares
 // the two event streams bit for bit.
 func RunIperfParallelTraced(cfg build.Config, streams, totalBytes, recvBuf, traceCap int) (*SmpRun, *trace.Ring, error) {
+	r, ring, _, err := runIperfParallelWorld(cfg, streams, totalBytes, recvBuf, traceCap)
+	return r, ring, err
+}
+
+// runIperfParallelWorld is the world-returning core of
+// RunIperfParallelTraced, shared with the observability entry points.
+func runIperfParallelWorld(cfg build.Config, streams, totalBytes, recvBuf, traceCap int) (*SmpRun, *trace.Ring, *build.World, error) {
 	if streams < 1 {
 		streams = 1
 	}
 	cfg.Net.SocketMode = net.DirectMode
 	w, err := build.NewWorld(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var ring *trace.Ring
 	if traceCap > 0 {
@@ -84,25 +96,25 @@ func RunIperfParallelTraced(cfg build.Config, streams, totalBytes, recvBuf, trac
 			})
 	}
 	if err := w.Sched.Run(); err != nil {
-		return nil, nil, fmt.Errorf("harness smp iperf: %w", err)
+		return nil, nil, nil, fmt.Errorf("harness smp iperf: %w", err)
 	}
 	if srvErr != nil {
-		return nil, nil, fmt.Errorf("harness smp iperf server: %w", srvErr)
+		return nil, nil, nil, fmt.Errorf("harness smp iperf server: %w", srvErr)
 	}
 	for i, err := range cliErrs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("harness smp iperf client %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("harness smp iperf client %d: %w", i, err)
 		}
 	}
 	bytes, _, err := srv.Finish()
 	if err != nil {
-		return nil, nil, fmt.Errorf("harness smp iperf: %w", err)
+		return nil, nil, nil, fmt.Errorf("harness smp iperf: %w", err)
 	}
 	if bytes != uint64(perStream*streams) {
-		return nil, nil, fmt.Errorf("harness smp iperf: received %d of %d bytes", bytes, perStream*streams)
+		return nil, nil, nil, fmt.Errorf("harness smp iperf: received %d of %d bytes", bytes, perStream*streams)
 	}
 	if err := checkPoolLeaks(w); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	r := &SmpRun{
 		VCPUs:       w.Server.Clock.NCPU(),
@@ -118,7 +130,8 @@ func RunIperfParallelTraced(cfg build.Config, streams, totalBytes, recvBuf, trac
 	for _, cpu := range w.Server.Clock.CPUs() {
 		r.PerCPU = append(r.PerCPU, cpu.Cycles())
 	}
-	return r, ring, nil
+	r.Attr = w.Server.Attribution()
+	return r, ring, w, nil
 }
 
 // SmpRedisRun is one multi-connection redis measurement on an n-vCPU
@@ -262,6 +275,10 @@ type SmpPoint struct {
 	// (makespan x vCPUs) that callers spent serialized behind the cross
 	// gate — the VM-RPC scaling limiter.
 	StallPct float64
+	// Attr is the run's attribution class split — what share of the
+	// machine's capacity went to isolation crossings, library compute
+	// and stalls — so each sweep point explains its own throughput.
+	Attr metrics.Summary
 }
 
 // SmpSeries is one backend's vCPU sweep.
@@ -331,6 +348,10 @@ func Smp(quick bool) (*SmpResult, error) {
 				Mbps:   r.Mbps,
 				Steals: r.Steals,
 				IPIs:   r.IPIs,
+				Attr:   r.Attr.Summary(),
+			}
+			if err := r.Attr.Check(); err != nil {
+				return nil, fmt.Errorf("smp %s @%d vcpus: %w", base.Name, n, err)
 			}
 			if r.Makespan > 0 {
 				p.StallPct = 100 * float64(r.RPCStalled) / float64(r.Makespan*uint64(n))

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexos/internal/clock"
+)
+
+// Class buckets a clock component for the crossing/compute/stall view:
+// where a cycle went, independent of which micro-library spent it.
+type Class string
+
+// Attribution classes.
+const (
+	// ClassCrossing is isolation-boundary work: gate entry/exit, VMM
+	// notifications and stalls, cross-compartment boundary copies.
+	ClassCrossing Class = "crossing"
+	// ClassCompute is the libraries' own work (including hardening
+	// instrumentation and fault containment, which run inside a
+	// compartment).
+	ClassCompute Class = "compute"
+	// ClassStall is time a vCPU spent not working: idle fast-forwards
+	// from cross-CPU wakes plus the trailing gap to the makespan.
+	ClassStall Class = "stall"
+)
+
+// ClassOf classifies a clock component.
+func ClassOf(c clock.Component) Class {
+	switch c {
+	case clock.CompGate, clock.CompVMM, clock.CompCopy:
+		return ClassCrossing
+	case clock.CompIdle:
+		return ClassStall
+	default:
+		return ClassCompute
+	}
+}
+
+// Row is one (vCPU, component) cell of an attribution: Cycles spent on
+// CPU in Component, which lives in Compartment ("" for infrastructure
+// that belongs to no single compartment — gates, the VMM, idle time).
+type Row struct {
+	CPU         int             `json:"cpu"`
+	Component   clock.Component `json:"component"`
+	Compartment string          `json:"compartment,omitempty"`
+	Class       Class           `json:"class"`
+	Cycles      uint64          `json:"cycles"`
+}
+
+// Attribution is a complete cycle-attribution breakdown of one
+// machine's run: every cycle of capacity (makespan × vCPUs) assigned
+// to a (vCPU, component) row, including the trailing idle gap of each
+// vCPU that finished before the makespan. Conservation — Attributed()
+// == Capacity() — is an invariant, enforced by Check and pinned by
+// TestAttributionConservation.
+type Attribution struct {
+	VCPUs    int    `json:"vcpus"`
+	Makespan uint64 `json:"makespan_cycles"`
+	// PerCPUCycles is each vCPU's final counter (before the trailing
+	// idle row tops it up to the makespan).
+	PerCPUCycles []uint64 `json:"per_cpu_cycles"`
+	Rows         []Row    `json:"rows"`
+}
+
+// Attribute computes the attribution of a machine's run. compOf maps a
+// clock component to the compartment it was built into ("" for
+// infrastructure components); nil leaves compartments blank.
+func Attribute(m *clock.Machine, compOf func(clock.Component) string) *Attribution {
+	a := &Attribution{VCPUs: m.NCPU(), Makespan: m.Makespan()}
+	for _, cpu := range m.CPUs() {
+		a.PerCPUCycles = append(a.PerCPUCycles, cpu.Cycles())
+		ledger := cpu.ByComponent()
+		comps := make([]clock.Component, 0, len(ledger))
+		for c := range ledger {
+			comps = append(comps, c)
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+		var idleExtra uint64
+		if cpu.Cycles() < a.Makespan {
+			// The vCPU finished early: the gap to the machine's
+			// makespan is stall time, attributed like a final idle
+			// fast-forward so capacity is conserved.
+			idleExtra = a.Makespan - cpu.Cycles()
+		}
+		seenIdle := false
+		for _, c := range comps {
+			cyc := ledger[c]
+			if c == clock.CompIdle {
+				cyc += idleExtra
+				seenIdle = true
+			}
+			row := Row{CPU: cpu.ID(), Component: c, Class: ClassOf(c), Cycles: cyc}
+			if compOf != nil {
+				row.Compartment = compOf(c)
+			}
+			a.Rows = append(a.Rows, row)
+		}
+		if !seenIdle && idleExtra > 0 {
+			a.Rows = append(a.Rows, Row{
+				CPU: cpu.ID(), Component: clock.CompIdle,
+				Class: ClassStall, Cycles: idleExtra,
+			})
+		}
+	}
+	return a
+}
+
+// Attributed sums every row's cycles.
+func (a *Attribution) Attributed() uint64 {
+	var sum uint64
+	for _, r := range a.Rows {
+		sum += r.Cycles
+	}
+	return sum
+}
+
+// Capacity is the machine's total cycle capacity over the run:
+// makespan × vCPUs.
+func (a *Attribution) Capacity() uint64 {
+	return a.Makespan * uint64(a.VCPUs)
+}
+
+// Check verifies conservation: per vCPU, the attributed rows must sum
+// exactly to the makespan, and in total to Capacity().
+func (a *Attribution) Check() error {
+	perCPU := make(map[int]uint64)
+	for _, r := range a.Rows {
+		perCPU[r.CPU] += r.Cycles
+	}
+	for cpu := 0; cpu < a.VCPUs; cpu++ {
+		if got := perCPU[cpu]; got != a.Makespan {
+			return fmt.Errorf("metrics: vCPU %d attribution %d != makespan %d (off by %d)",
+				cpu, got, a.Makespan, int64(got)-int64(a.Makespan))
+		}
+	}
+	if got, want := a.Attributed(), a.Capacity(); got != want {
+		return fmt.Errorf("metrics: attributed %d != capacity %d", got, want)
+	}
+	return nil
+}
+
+// ByComponent aggregates rows across vCPUs.
+func (a *Attribution) ByComponent() map[clock.Component]uint64 {
+	out := make(map[clock.Component]uint64)
+	for _, r := range a.Rows {
+		out[r.Component] += r.Cycles
+	}
+	return out
+}
+
+// ByClass aggregates rows into the crossing/compute/stall split.
+func (a *Attribution) ByClass() map[Class]uint64 {
+	out := make(map[Class]uint64)
+	for _, r := range a.Rows {
+		out[r.Class] += r.Cycles
+	}
+	return out
+}
+
+// Summary is the compact share-of-capacity view embedded in experiment
+// results (and the BENCH_*.json sweeps): what fraction of the
+// machine's capacity went to crossings, compute and stalls.
+type Summary struct {
+	CrossingPct float64 `json:"crossing_pct"`
+	ComputePct  float64 `json:"compute_pct"`
+	StallPct    float64 `json:"stall_pct"`
+}
+
+// Summary reduces the attribution to class shares of capacity.
+func (a *Attribution) Summary() Summary {
+	cap := a.Capacity()
+	if cap == 0 {
+		return Summary{}
+	}
+	by := a.ByClass()
+	pct := func(c Class) float64 { return 100 * float64(by[c]) / float64(cap) }
+	return Summary{
+		CrossingPct: pct(ClassCrossing),
+		ComputePct:  pct(ClassCompute),
+		StallPct:    pct(ClassStall),
+	}
+}
+
+// Format renders the attribution table: per-component rows (largest
+// first, compartment and class alongside, share of capacity), the
+// class split, per-vCPU counters, and the conservation line that
+// reconciles attributed cycles against the machine's elapsed time.
+func (a *Attribution) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle attribution: %d vCPU(s), makespan %d cy (%v), capacity %d cy\n",
+		a.VCPUs, a.Makespan, clock.CyclesToDuration(a.Makespan), a.Capacity())
+	byComp := a.ByComponent()
+	type agg struct {
+		comp        clock.Component
+		compartment string
+		class       Class
+		cyc         uint64
+	}
+	rows := make([]agg, 0, len(byComp))
+	for _, r := range a.Rows {
+		found := false
+		for i := range rows {
+			if rows[i].comp == r.Component {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rows = append(rows, agg{r.Component, r.Compartment, r.Class, byComp[r.Component]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cyc != rows[j].cyc {
+			return rows[i].cyc > rows[j].cyc
+		}
+		return rows[i].comp < rows[j].comp
+	})
+	cap := a.Capacity()
+	if cap == 0 {
+		cap = 1
+	}
+	fmt.Fprintf(&b, "  %-12s %-14s %-9s %14s %8s\n", "component", "compartment", "class", "cycles", "share")
+	for _, r := range rows {
+		compartment := r.compartment
+		if compartment == "" {
+			compartment = "-"
+		}
+		fmt.Fprintf(&b, "  %-12s %-14s %-9s %14d %7.1f%%\n",
+			r.comp, compartment, r.class, r.cyc, 100*float64(r.cyc)/float64(cap))
+	}
+	by := a.ByClass()
+	fmt.Fprintf(&b, "  classes: crossing %.1f%%  compute %.1f%%  stall %.1f%%\n",
+		100*float64(by[ClassCrossing])/float64(cap),
+		100*float64(by[ClassCompute])/float64(cap),
+		100*float64(by[ClassStall])/float64(cap))
+	for i, cyc := range a.PerCPUCycles {
+		fmt.Fprintf(&b, "  cpu%-2d %14d cy busy, %14d cy trailing idle\n", i, cyc, a.Makespan-cyc)
+	}
+	if err := a.Check(); err != nil {
+		fmt.Fprintf(&b, "  CONSERVATION VIOLATED: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "  conserved: attributed %d cy == makespan %d cy x %d vCPU(s)\n",
+			a.Attributed(), a.Makespan, a.VCPUs)
+	}
+	return b.String()
+}

@@ -47,6 +47,16 @@ type NIC struct {
 	rxCnt uint64
 	qTx   []uint64 // per-queue tx frame counts
 	qRx   []uint64 // per-queue rx frame counts
+	// Coalescing counters for the observability layer: frames charged
+	// at the coalesced descriptor-ring cost rather than the full
+	// per-packet platform cost, per queue and direction, plus the
+	// doorbell and NAPI-poll counts that paid the full cost once per
+	// batch. Live counters, never dropped — the attribution path reads
+	// these, not the bounded trace ring.
+	qCoalTx   []uint64
+	qCoalRx   []uint64
+	doorbells uint64
+	rxPolls   uint64
 }
 
 // TxCount reports frames transmitted.
@@ -70,6 +80,31 @@ func (n *NIC) QueueRx(q int) uint64 {
 	}
 	return n.qRx[q]
 }
+
+// QueueCoalescedTx reports frames on ring q that coalesced behind a tx
+// doorbell (charged CostNICCoalescedPacket instead of the full
+// per-packet platform cost).
+func (n *NIC) QueueCoalescedTx(q int) uint64 {
+	if q < 0 || q >= len(n.qCoalTx) {
+		return 0
+	}
+	return n.qCoalTx[q]
+}
+
+// QueueCoalescedRx reports frames on ring q that coalesced within a
+// NAPI rx poll.
+func (n *NIC) QueueCoalescedRx(q int) uint64 {
+	if q < 0 || q >= len(n.qCoalRx) {
+		return 0
+	}
+	return n.qCoalRx[q]
+}
+
+// Doorbells reports tx doorbell rings (one per transmitBatch).
+func (n *NIC) Doorbells() uint64 { return n.doorbells }
+
+// RxPolls reports NAPI rx polls (each paying one interrupt cost).
+func (n *NIC) RxPolls() uint64 { return n.rxPolls }
 
 // countTx / countRx bump the total and per-queue frame counters.
 func (n *NIC) countTx(q int) {
@@ -95,8 +130,10 @@ type Wire struct {
 // Connect wires two stacks together and returns the wire.
 func Connect(a, b *Stack) *Wire {
 	w := &Wire{}
-	na := &NIC{stack: a, wire: w, qTx: make([]uint64, a.numQueues), qRx: make([]uint64, a.numQueues)}
-	nb := &NIC{stack: b, wire: w, qTx: make([]uint64, b.numQueues), qRx: make([]uint64, b.numQueues)}
+	na := &NIC{stack: a, wire: w, qTx: make([]uint64, a.numQueues), qRx: make([]uint64, a.numQueues),
+		qCoalTx: make([]uint64, a.numQueues), qCoalRx: make([]uint64, a.numQueues)}
+	nb := &NIC{stack: b, wire: w, qTx: make([]uint64, b.numQueues), qRx: make([]uint64, b.numQueues),
+		qCoalTx: make([]uint64, b.numQueues), qCoalRx: make([]uint64, b.numQueues)}
 	na.peer, nb.peer = nb, na
 	w.a, w.b = na, nb
 	a.attachNIC(na)
@@ -149,10 +186,15 @@ func (n *NIC) transmitBatch(frames [][]byte) {
 	if len(frames) == 0 {
 		return
 	}
+	n.doorbells++
 	delivered := make([][]byte, 0, len(frames))
 	for i, frame := range frames {
-		n.countTx(n.stack.frameQueue(frame))
+		q := n.stack.frameQueue(frame)
+		n.countTx(q)
 		n.chargePacket(i == 0, len(frame))
+		if i > 0 {
+			n.qCoalTx[q]++
+		}
 		if n.wire.Filter != nil && !n.wire.Filter(frame) {
 			n.wire.Dropped++
 			continue
@@ -223,10 +265,14 @@ func (n *NIC) pollQueue(q int, frames [][]byte, budget int) {
 		if end > len(frames) {
 			end = len(frames)
 		}
+		n.rxPolls++
 		n.stack.beginRxBatch()
 		for i := start; i < end; i++ {
 			n.countRx(q)
 			n.chargePacket(i == start, len(frames[i]))
+			if i > start {
+				n.qCoalRx[q]++
+			}
 			n.stack.input(frames[i])
 		}
 		n.stack.endRxBatch()

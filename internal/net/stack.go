@@ -216,6 +216,14 @@ func (st *Stack) Env() *rt.Env { return st.env }
 
 func (st *Stack) attachNIC(n *NIC) { st.nic = n }
 
+// NIC exposes the attached device (nil before Connect) — the
+// observability layer snapshots its per-queue rx/tx/coalesce/doorbell
+// counters.
+func (st *Stack) NIC() *NIC { return st.nic }
+
+// QueueCPU reports the vCPU that services ring q's interrupts.
+func (st *Stack) QueueCPU(q int) int { return st.queueCPUFor(q) }
+
 // transmitNow hands a frame to the NIC immediately; a stack with no
 // link drops it (a real device would not be up yet).
 func (st *Stack) transmitNow(frame []byte) {
