@@ -643,6 +643,45 @@ func BenchmarkOverload(b *testing.B) {
 	b.ReportMetric(float64(res.Breaker.Closes), "breaker-closes")
 }
 
+// BenchmarkChaosnet measures goodput retention under adversarial frame
+// loss: the MPK-shared image's lossless goodput, what fraction of it
+// survives 1% per-direction loss, and the repair-traffic volume. The
+// fault schedule is a seeded PRNG on the virtual clock, so every
+// metric is exactly reproducible.
+func BenchmarkChaosnet(b *testing.B) {
+	var res *harness.ChaosnetResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.Chaosnet(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	series := func(label string) harness.ChaosnetSeries {
+		for _, s := range res.Series {
+			if s.Label == label {
+				return s
+			}
+		}
+		b.Fatalf("missing series %q", label)
+		return harness.ChaosnetSeries{}
+	}
+	point := func(s harness.ChaosnetSeries, loss float64) harness.ChaosnetPoint {
+		for _, p := range s.Points {
+			if p.Loss == loss {
+				return p
+			}
+		}
+		b.Fatalf("missing loss point %v in %q", loss, s.Label)
+		return harness.ChaosnetPoint{}
+	}
+	mpk := series("MPK-Sha. NW-only")
+	b.ReportMetric(point(mpk, 0).Gbps*1000, "sim-lossless-Mbps")
+	b.ReportMetric(point(mpk, 0.01).RetentionPct, "sim-loss1-retention-%")
+	b.ReportMetric(float64(point(mpk, 0.01).Retransmits), "sim-loss1-rtx")
+	b.ReportMetric(point(mpk, 0.05).RetentionPct, "sim-loss5-retention-%")
+}
+
 // BenchmarkParetoFront measures the skyline filter over a design
 // space grown well past the default image (every subset of one
 // candidate list replicated with perturbed scores), where the old

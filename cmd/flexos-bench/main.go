@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|smp|all [-quick] [-ops N]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|smp|chaosnet|all [-quick] [-ops N]
 //	            [-metrics] [-profile trace.json] [-metrics-out attribution.json]
 //
 // -metrics prints a per-compartment cycle-attribution table for each
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, smp, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, smp, chaosnet, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	metricsFlag := flag.Bool("metrics", false, "print per-compartment cycle-attribution tables for the selected experiment")
@@ -95,6 +95,12 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatSmp(r))
+		case "chaosnet":
+			r, err := harness.Chaosnet(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatChaosnet(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -104,7 +110,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching", "smp"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching", "smp", "chaosnet"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"flexos/internal/app/retry"
 	"flexos/internal/clock"
 	"flexos/internal/fault"
 	"flexos/internal/libc"
@@ -127,10 +128,14 @@ func (s *Server) Run(t *sched.Thread) error {
 	if err != nil {
 		return err
 	}
-	if err := s.drainConn(t, conn, buf); err != nil {
-		return err
+	drainErr := s.drainConn(t, conn, buf)
+	// The buffer goes back even when the drain dies: a net-dead
+	// connection must not leak the receive buffer.
+	freeErr := s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+	if drainErr != nil {
+		return drainErr
 	}
-	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+	return freeErr
 }
 
 // drainConn drains one established connection to EOF into buf, using
@@ -165,10 +170,12 @@ func (s *Server) ServeConn(t *sched.Thread, conn *net.Socket) error {
 	}); err != nil {
 		return err
 	}
-	if err := s.drainConn(t, conn, buf); err != nil {
-		return err
+	drainErr := s.drainConn(t, conn, buf)
+	freeErr := s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+	if drainErr != nil {
+		return drainErr
 	}
-	return s.call("free", 1, func() error { return s.libc.BufFree(buf) })
+	return freeErr
 }
 
 // runBatched is the pipelined drain loop: each round hands depth
@@ -351,7 +358,13 @@ type Client struct {
 	Total      int
 	WriteSize  int
 
+	// Retry bounds the connect loop on lossy links (the zero value is
+	// a single attempt, the lossless-baseline behaviour).
+	Retry retry.Policy
+
 	BytesSent uint64
+	// ConnectRetries counts failed connect attempts that were retried.
+	ConnectRetries uint64
 }
 
 // NewClient builds the load generator.
@@ -368,9 +381,15 @@ func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port ui
 // sendmmsg-style crossing.
 func (c *Client) Run(t *sched.Thread) error {
 	var conn *net.Socket
-	err := c.env.CallFn("libc", "connect", 3, func() error {
-		var err error
-		conn, err = c.libc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+	err := c.Retry.Do(c.env, func() error {
+		err := c.env.CallFn("libc", "connect", 3, func() error {
+			var err error
+			conn, err = c.libc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+			return err
+		})
+		if err != nil {
+			c.ConnectRetries++
+		}
 		return err
 	})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flexos/internal/app/retry"
 	"flexos/internal/clock"
 	"flexos/internal/libc"
 	"flexos/internal/mem"
@@ -22,6 +23,12 @@ type Client struct {
 	ServerIP   net.IPAddr
 	ServerPort uint16
 
+	// Retry bounds the connect loop on lossy links (the zero value is
+	// a single attempt, the lossless-baseline behaviour).
+	Retry retry.Policy
+	// ConnectRetries counts failed connect attempts that were retried.
+	ConnectRetries uint64
+
 	conn         *net.Socket
 	rx, tx       mem.Addr
 	rxBuf, txBuf mem.BufRef
@@ -35,11 +42,18 @@ func NewClient(env *rt.Env, lc *libc.LibC, st *net.Stack, ip net.IPAddr, port ui
 	return &Client{env: env, lc: lc, stack: st, ServerIP: ip, ServerPort: port, bufSize: defaultBufSize}
 }
 
-// Connect opens the connection and allocates buffers.
+// Connect opens the connection and allocates buffers, retrying with
+// jittered exponential backoff when a Retry policy is set.
 func (c *Client) Connect(t *sched.Thread) error {
-	err := c.env.CallFn("libc", "connect", 3, func() error {
-		var err error
-		c.conn, err = c.lc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+	err := c.Retry.Do(c.env, func() error {
+		err := c.env.CallFn("libc", "connect", 3, func() error {
+			var err error
+			c.conn, err = c.lc.Connect(t, c.stack, c.ServerIP, c.ServerPort)
+			return err
+		})
+		if err != nil {
+			c.ConnectRetries++
+		}
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,95 @@
+// Package retry implements deterministic jittered exponential backoff
+// for application-level reconnects. Under the chaosnet fault model a
+// connect can die for real — SYN retransmission exhausts and the stack
+// surfaces a typed net-timeout — and a robust client's answer is the
+// classic one: back off with jitter, try again, give up after a bounded
+// number of attempts. The backoff burns *virtual* cycles through the
+// environment's charge hook and draws jitter from a seeded xorshift
+// PRNG, so a retrying run replays bit-identically like everything else
+// in the simulation.
+package retry
+
+import "flexos/internal/rt"
+
+// Defaults applied by Policy.Do when a field is zero (attempts greater
+// than one enable retrying; the zero Policy is a single try).
+const (
+	// DefaultBase is the first backoff delay in virtual cycles —
+	// roughly one RTO of the transport underneath.
+	DefaultBase = 200_000
+	// DefaultCap bounds the exponential growth.
+	DefaultCap = 3_200_000
+)
+
+// Policy bounds an application's reconnect loop.
+type Policy struct {
+	// Attempts is the total number of tries (not retries); 0 and 1
+	// both mean a single attempt with no backoff — the default, so
+	// existing workloads are untouched unless a harness opts in.
+	Attempts int
+	// Base is the first backoff delay in virtual cycles (DefaultBase
+	// when 0).
+	Base uint64
+	// Cap bounds the doubled delay (DefaultCap when 0).
+	Cap uint64
+	// Seed drives the jitter PRNG; 0 seeds from 1 so the zero value
+	// stays deterministic.
+	Seed uint64
+}
+
+// Do runs attempt until it succeeds or Attempts tries have failed,
+// charging a jittered exponential backoff to env between tries. The
+// delay for try k is drawn uniformly from [base<<k/2, base<<k] (full
+// jitter halved at the floor), capped at Cap. It returns the last
+// attempt's error.
+func (p Policy) Do(env *rt.Env, attempt func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	base, cap := p.Base, p.Cap
+	if base == 0 {
+		base = DefaultBase
+	}
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// splitmix64 scrambles the seed, xorshift64* generates; the same
+	// generator the wire's fault model uses, so jitter quality matches.
+	x := seed + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	next := func() uint64 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 0x2545f4914f6cdd1d
+	}
+	var err error
+	delay := base
+	for i := 0; i < attempts; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := delay/2 + next()%(delay/2+1)
+		env.Charge(d)
+		delay *= 2
+		if delay > cap {
+			delay = cap
+		}
+	}
+	return err
+}

@@ -169,7 +169,25 @@ type Config struct {
 	// thread — or "queue<k>", steering NIC queue k's interrupts.
 	// Unlisted queues default to queue k -> vCPU k mod Smp.
 	Affinity map[string]int
+	// Link arms adversarial faults on the wire between the two machines
+	// (configfile directive "link <drop> <reorder> <corrupt> [seed]").
+	// The zero value leaves the wire lossless — the default, and the
+	// path every committed benchmark baseline runs on.
+	Link LinkSpec
 }
+
+// LinkSpec is the wire-fault configuration of an image pair: per-frame
+// drop, reorder and bit-corruption probabilities driven by a seeded
+// PRNG on the virtual clock, so faulty runs replay bit-identically.
+type LinkSpec struct {
+	Drop    float64
+	Reorder float64
+	Corrupt float64
+	Seed    uint64
+}
+
+// Active reports whether any fault rate is non-zero.
+func (l LinkSpec) Active() bool { return l.Drop > 0 || l.Reorder > 0 || l.Corrupt > 0 }
 
 // DefaultLibraries is the library set of the canonical six-library
 // image (spec.DefaultImage), in build order.
@@ -351,6 +369,17 @@ func normalize(cfg *Config) ([]Compartment, error) {
 			continue
 		}
 		return nil, fmt.Errorf("build: affinity target %q is neither a library nor queue<k>", target)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", cfg.Link.Drop}, {"reorder", cfg.Link.Reorder}, {"corrupt", cfg.Link.Corrupt}} {
+		if r.v < 0 || r.v > 1 {
+			return nil, fmt.Errorf("build: link %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if cfg.Link.Active() && cfg.Link.Seed == 0 {
+		cfg.Link.Seed = 1 // a deterministic default so runs replay
 	}
 	// MPK shares the hardware's 16 protection keys; one is the shared
 	// window. The VM and CHERI backends have no such limit (a point

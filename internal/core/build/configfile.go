@@ -36,6 +36,7 @@ import (
 //	batch <compartment> <depth>
 //	smp <n>
 //	affinity <library|queue<k>> <cpu>
+//	link <drop> <reorder> <corrupt> [seed]
 
 // ParseConfig parses configuration-file source into a Config.
 func ParseConfig(src string) (Config, error) {
@@ -286,6 +287,30 @@ func applyDirective(cfg *Config, fields []string) error {
 		} else {
 			cfg.Smp = n
 		}
+	case "link":
+		if len(args) != 3 && len(args) != 4 {
+			return fmt.Errorf("link takes 3 or 4 arguments (drop reorder corrupt [seed]), got %d", len(args))
+		}
+		var spec LinkSpec
+		for i, dst := range []*float64{&spec.Drop, &spec.Reorder, &spec.Corrupt} {
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 || v > 1 {
+				return fmt.Errorf("link wants fault rates in [0,1], got %q", args[i])
+			}
+			*dst = v
+		}
+		if len(args) == 4 {
+			seed, err := strconv.ParseUint(args[3], 10, 64)
+			if err != nil {
+				return fmt.Errorf("link wants an unsigned seed, got %q", args[3])
+			}
+			spec.Seed = seed
+		}
+		if !spec.Active() {
+			cfg.Link = LinkSpec{} // all-zero rates: back to the lossless default
+		} else {
+			cfg.Link = spec
+		}
 	case "affinity":
 		if err := need(2); err != nil {
 			return err
@@ -416,6 +441,13 @@ func FormatConfig(cfg Config) string {
 	}
 	if cfg.Smp > 1 {
 		fmt.Fprintf(&b, "smp %d\n", cfg.Smp)
+	}
+	if cfg.Link.Active() {
+		fmt.Fprintf(&b, "link %g %g %g", cfg.Link.Drop, cfg.Link.Reorder, cfg.Link.Corrupt)
+		if cfg.Link.Seed != 0 {
+			fmt.Fprintf(&b, " %d", cfg.Link.Seed)
+		}
+		b.WriteByte('\n')
 	}
 	pinned := make([]string, 0, len(cfg.Affinity))
 	for target, cpu := range cfg.Affinity {

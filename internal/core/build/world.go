@@ -133,6 +133,18 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("build: client: %w", err)
 	}
 	wire := net.Connect(server.Stack, client.Stack)
+	if cfg.Link.Active() {
+		seed := cfg.Link.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		wire.ArmBoth(net.LinkFaults{
+			Seed:    seed,
+			Drop:    cfg.Link.Drop,
+			Reorder: cfg.Link.Reorder,
+			Corrupt: cfg.Link.Corrupt,
+		})
+	}
 	server.Stack.StartTCPIP(s)
 	return &World{Server: server, Client: client, Sched: s, Wire: wire}, nil
 }
@@ -479,6 +491,15 @@ func (m *Machine) EnableTracing(capacity int) *trace.Ring {
 			Note:   note,
 		})
 	})
+	m.Stack.SetEventTracer(func(kind, note string) {
+		ring.Emit(trace.Event{
+			Cycles: m.Clock.Cycles(),
+			CPU:    m.Clock.CurID(),
+			Kind:   kind,
+			From:   "netstack",
+			Note:   note,
+		})
+	})
 	return ring
 }
 
@@ -511,7 +532,24 @@ func (m *Machine) MetricsSnapshot() *metrics.Snapshot {
 		}
 		s.Add("nic_doorbells", mw("nic"), nic.Doorbells())
 		s.Add("nic_rx_polls", mw("nic"), nic.RxPolls())
+		if w := nic.Wire(); w != nil {
+			wl := mw("wire")
+			s.Add("wire_dropped", wl, w.Dropped)
+			s.Add("wire_corrupted", wl, w.Corrupted)
+			s.Add("wire_duplicated", wl, w.Duplicated)
+			s.Add("wire_reordered", wl, w.Reordered)
+			s.Add("wire_flap_dropped", wl, w.FlapDropped)
+		}
 	}
+	ns := m.Stack.Stats()
+	nl := mw("netstack")
+	s.Add("net_retransmits", nl, ns.Retransmits)
+	s.Add("net_fast_retransmits", nl, ns.FastRetransmits)
+	s.Add("net_checksum_drops", nl, ns.ChecksumDrops)
+	s.Add("net_ooo_queued", nl, ns.OOOQueued)
+	s.Add("net_zero_wnd_probes", nl, ns.ZeroWndProbes)
+	s.Add("net_keepalive_probes", nl, ns.KeepaliveProbes)
+	s.Add("net_deaths", nl, ns.NetDeaths)
 	ps := m.Pool.Stats()
 	pl := mw("pool")
 	s.Add("pool_gets", pl, ps.Gets)

@@ -50,6 +50,12 @@ const (
 	// not memory faults: the supervisor never restarts them — an
 	// absolute deadline cannot be beaten by replaying the call.
 	KindDeadline
+	// KindNetTimeout is transport death: the network stack declared a
+	// connection dead (retransmit-limit exhaustion or keepalive probe
+	// failure, see NetTimeout). Unlike KindDeadline it is containable
+	// like a memory fault — the owning compartment's onfault policy
+	// decides whether network death aborts, restarts or degrades it.
+	KindNetTimeout
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +75,8 @@ func (k Kind) String() string {
 		return "sched"
 	case KindDeadline:
 		return "deadline"
+	case KindNetTimeout:
+		return "net-timeout"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -141,6 +149,10 @@ func Classify(comp, pc string, err error) error {
 	var de *DeadlineExceeded
 	if errors.As(err, &de) {
 		return &Trap{Comp: comp, Kind: KindDeadline, PC: pc, Cause: err}
+	}
+	var nt *NetTimeout
+	if errors.As(err, &nt) {
+		return &Trap{Comp: comp, Kind: KindNetTimeout, PC: pc, Cause: err}
 	}
 	return err
 }

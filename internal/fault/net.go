@@ -1,0 +1,43 @@
+package fault
+
+import "fmt"
+
+// NetTimeout is the structured cause of a transport death: the network
+// stack exhausted its recovery budget for a connection — every
+// retransmission of the oldest unacknowledged segment timed out, or the
+// keepalive prober gave up on an idle peer — and aborted the socket.
+//
+// It is the network analogue of DeadlineExceeded: a typed error the
+// stack returns (exactly once per socket) through the socket API so the
+// isolating gate's Contain/Classify boundary converts it into a
+// Trap{Kind: KindNetTimeout} against the owning compartment, where the
+// configured onfault policy takes over. Subsequent calls on the dead
+// socket return a plain closed-connection error, so a restart policy's
+// replay settles clean and counts as a recovery while the application's
+// own retry logic re-establishes the connection.
+type NetTimeout struct {
+	// PC is the symbolic location that declared death, e.g.
+	// "netstack:rtx" or "netstack:keepalive".
+	PC string
+	// Retransmits is how many times the oldest segment was retransmitted
+	// before the stack gave up (0 for keepalive death).
+	Retransmits int
+	// Probes is how many keepalive probes went unanswered (0 for
+	// retransmit exhaustion).
+	Probes int
+	// Elapsed is the virtual cycles between arming the first timer of
+	// the losing recovery attempt and declaring death.
+	Elapsed uint64
+}
+
+// Error implements error.
+func (e *NetTimeout) Error() string {
+	switch {
+	case e.Probes > 0:
+		return fmt.Sprintf("fault: net timeout at %s: peer dead after %d keepalive probes (%d cycles)",
+			e.PC, e.Probes, e.Elapsed)
+	default:
+		return fmt.Sprintf("fault: net timeout at %s: connection dead after %d retransmits (%d cycles)",
+			e.PC, e.Retransmits, e.Elapsed)
+	}
+}

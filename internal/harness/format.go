@@ -193,3 +193,20 @@ func FormatSmp(r *SmpResult) string {
 	}
 	return b.String()
 }
+
+// FormatChaosnet renders the lossy-link sweep.
+func FormatChaosnet(r *ChaosnetResult) string {
+	var b strings.Builder
+	b.WriteString("Chaosnet: iperf goodput under adversarial frame loss\n")
+	fmt.Fprintf(&b, "%-18s %8s %10s %10s %12s %6s %9s %6s %9s\n",
+		"image", "loss", "Gb/s", "retention", "recovery(Mc)", "rtx", "fast-rtx", "ooo", "dropped")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%-18s %7.2f%% %10.3f %9.1f%% %12.2f %6d %9d %6d %9d\n",
+				s.Label, p.Loss*100, p.Gbps, p.RetentionPct,
+				float64(p.RecoveryCycles)/1e6, p.Retransmits, p.FastRetransmits,
+				p.OOOQueued, p.WireDropped)
+		}
+	}
+	return b.String()
+}

@@ -103,6 +103,9 @@ func (n *NIC) QueueCoalescedRx(q int) uint64 {
 // Doorbells reports tx doorbell rings (one per transmitBatch).
 func (n *NIC) Doorbells() uint64 { return n.doorbells }
 
+// Wire returns the wire this NIC is attached to (nil before Connect).
+func (n *NIC) Wire() *Wire { return n.wire }
+
 // RxPolls reports NAPI rx polls (each paying one interrupt cost).
 func (n *NIC) RxPolls() uint64 { return n.rxPolls }
 
@@ -117,14 +120,208 @@ func (n *NIC) countRx(q int) {
 	n.qRx[q]++
 }
 
-// Wire connects two NICs. A Filter may drop or reorder-test frames
-// (loss injection for retransmission tests); nil passes everything.
+// Dir selects one direction of a Wire: AtoB carries frames transmitted
+// by the first stack handed to Connect, BtoA the reverse path.
+type Dir int
+
+// Wire directions.
+const (
+	AtoB Dir = iota
+	BtoA
+)
+
+// DownWindow is one timed link flap: frames transmitted while the
+// virtual clock is in [From, To) vanish in both payload and ACK
+// directions the window is armed on — a partition, not a slowdown.
+type DownWindow struct {
+	From, To uint64
+}
+
+// LinkFaults is the adversarial policy for one direction of a Wire:
+// independent per-frame drop/duplicate/reorder/bit-corruption
+// probabilities driven by a seeded PRNG, a Gilbert–Elliott two-state
+// burst-loss channel, timed link flaps on the virtual clock, and a
+// deterministic per-frame predicate for tests (the successor of the
+// old boolean Wire.Filter hook).
+//
+// Everything is deterministic: the PRNG is seeded xorshift64*, each
+// enabled probability consumes exactly one roll per frame in a fixed
+// order (burst, drop, corrupt, duplicate, reorder), and flap windows
+// compare against the deterministic virtual clock — so the same seed
+// replays the same fault pattern bit for bit, under smp N included.
+type LinkFaults struct {
+	// Seed seeds the direction's PRNG (any value is fine; it is mixed
+	// through splitmix64 before use).
+	Seed uint64
+	// Drop, Dup, Reorder, Corrupt are independent per-frame
+	// probabilities in [0, 1]. A zero rate consumes no randomness.
+	Drop, Dup, Reorder, Corrupt float64
+	// Gilbert–Elliott burst loss: the channel flips from its good state
+	// to the bad state with probability BurstEnter per frame, back with
+	// BurstExit, and while bad drops each frame with probability
+	// BurstDrop. All three zero disables the channel.
+	BurstEnter, BurstExit, BurstDrop float64
+	// Down lists link-flap windows in virtual cycles.
+	Down []DownWindow
+	// DropFn is a deterministic per-frame predicate: returning true
+	// drops the frame. Tests use it for surgical loss injection.
+	DropFn func(frame []byte) bool
+}
+
+// active reports whether any fault mechanism is configured.
+func (lf LinkFaults) active() bool {
+	return lf.Drop > 0 || lf.Dup > 0 || lf.Reorder > 0 || lf.Corrupt > 0 ||
+		lf.BurstEnter > 0 || lf.BurstExit > 0 || lf.BurstDrop > 0 ||
+		len(lf.Down) > 0 || lf.DropFn != nil
+}
+
+// splitmix64 mixes a seed into a full-period nonzero PRNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// linkState is the per-direction runtime of a LinkFaults policy.
+type linkState struct {
+	cfg  LinkFaults
+	rng  uint64 // xorshift64* state, never zero
+	bad  bool   // Gilbert–Elliott bad (bursty) state
+	held []byte // frame held back by a reorder, delivered after the next
+}
+
+// next steps the xorshift64* PRNG.
+func (ls *linkState) next() uint64 {
+	x := ls.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	ls.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// roll draws one uniform sample in [0, 1).
+func (ls *linkState) roll() float64 {
+	return float64(ls.next()>>11) / (1 << 53)
+}
+
+// Wire connects two NICs. Each direction may carry an armed LinkFaults
+// policy; an unarmed direction passes every frame untouched and draws
+// no randomness, so a fault-free wire behaves (and costs) exactly like
+// one that predates the fault model.
 type Wire struct {
-	a, b *NIC
-	// Filter is consulted per frame; returning false drops it.
-	Filter func(frame []byte) bool
-	// Dropped counts filtered frames.
-	Dropped uint64
+	a, b   *NIC
+	faults [2]*linkState
+	// Fault counters, aggregated over both directions. Dropped counts
+	// random, burst and DropFn losses; FlapDropped counts frames that
+	// vanished inside a Down window; Corrupted/Duplicated/Reordered
+	// count frames that were delivered mutated, twice, or out of order.
+	Dropped     uint64
+	Corrupted   uint64
+	Duplicated  uint64
+	Reordered   uint64
+	FlapDropped uint64
+}
+
+// Arm installs a LinkFaults policy on one direction of the wire.
+func (w *Wire) Arm(d Dir, lf LinkFaults) {
+	if !lf.active() {
+		w.faults[d] = nil
+		return
+	}
+	w.faults[d] = &linkState{cfg: lf, rng: splitmix64(lf.Seed)}
+}
+
+// ArmBoth arms both directions with the same policy, deriving a
+// distinct PRNG stream per direction from the one seed.
+func (w *Wire) ArmBoth(lf LinkFaults) {
+	w.Arm(AtoB, lf)
+	lf.Seed++
+	w.Arm(BtoA, lf)
+}
+
+// dirOf returns the transmit direction for the sending NIC.
+func (w *Wire) dirOf(n *NIC) Dir {
+	if n == w.a {
+		return AtoB
+	}
+	return BtoA
+}
+
+// conduct passes one transmitted frame through the direction's fault
+// policy and returns the wire-owned copies to deliver, in order (zero
+// for a loss, two for a duplicate, current-then-held after a reorder).
+// now is the sender's virtual clock, used for flap windows.
+func (w *Wire) conduct(ls *linkState, now uint64, frame []byte) [][]byte {
+	for _, win := range ls.cfg.Down {
+		if now >= win.From && now < win.To {
+			w.FlapDropped++
+			return nil
+		}
+	}
+	if ls.cfg.DropFn != nil && ls.cfg.DropFn(frame) {
+		w.Dropped++
+		return nil
+	}
+	// Gilbert–Elliott: one transition roll, then (in the bad state) one
+	// loss roll. Enabled by any nonzero burst parameter so the stream of
+	// PRNG draws is a pure function of the policy and the frame count.
+	if ls.cfg.BurstEnter > 0 || ls.cfg.BurstExit > 0 || ls.cfg.BurstDrop > 0 {
+		if ls.bad {
+			if ls.roll() < ls.cfg.BurstExit {
+				ls.bad = false
+			}
+		} else if ls.roll() < ls.cfg.BurstEnter {
+			ls.bad = true
+		}
+		if ls.bad && ls.roll() < ls.cfg.BurstDrop {
+			w.Dropped++
+			return nil
+		}
+	}
+	if ls.cfg.Drop > 0 && ls.roll() < ls.cfg.Drop {
+		w.Dropped++
+		return nil
+	}
+	wireCopy := make([]byte, len(frame))
+	copy(wireCopy, frame)
+	if ls.cfg.Corrupt > 0 && ls.roll() < ls.cfg.Corrupt {
+		// Flip one PRNG-chosen bit of the copy; the sender's retransmit
+		// buffer is untouched, so recovery resends clean bytes.
+		byteIx := int(ls.next() % uint64(len(wireCopy)))
+		bitIx := uint(ls.next() % 8)
+		wireCopy[byteIx] ^= 1 << bitIx
+		w.Corrupted++
+	}
+	out := []byte(nil)
+	if held := ls.held; held != nil {
+		ls.held = nil
+		out = held
+	}
+	if ls.cfg.Dup > 0 && ls.roll() < ls.cfg.Dup {
+		dup := make([]byte, len(wireCopy))
+		copy(dup, wireCopy)
+		w.Duplicated++
+		if out != nil {
+			return [][]byte{wireCopy, dup, out}
+		}
+		return [][]byte{wireCopy, dup}
+	}
+	if ls.cfg.Reorder > 0 && ls.held == nil && ls.roll() < ls.cfg.Reorder {
+		// Hold this frame back; it rides behind the next frame that
+		// transits this direction (a one-frame-deep reorder).
+		ls.held = wireCopy
+		w.Reordered++
+		if out != nil {
+			return [][]byte{out}
+		}
+		return nil
+	}
+	if out != nil {
+		return [][]byte{wireCopy, out}
+	}
+	return [][]byte{wireCopy}
 }
 
 // Connect wires two stacks together and returns the wire.
@@ -150,8 +347,10 @@ func (n *NIC) transmit(frame []byte) {
 	n.stack.restHard.OnFrame()
 	n.stack.restHard.OnTouch(len(frame))
 	n.stack.restHard.OnBulk(len(frame) / 8)
-	if n.wire.Filter != nil && !n.wire.Filter(frame) {
-		n.wire.Dropped++
+	if ls := n.wire.faults[n.wire.dirOf(n)]; ls != nil {
+		for _, f := range n.wire.conduct(ls, n.stack.env.CPU.Cycles(), frame) {
+			n.peer.receive(f)
+		}
 		return
 	}
 	wireCopy := make([]byte, len(frame))
@@ -187,6 +386,7 @@ func (n *NIC) transmitBatch(frames [][]byte) {
 		return
 	}
 	n.doorbells++
+	ls := n.wire.faults[n.wire.dirOf(n)]
 	delivered := make([][]byte, 0, len(frames))
 	for i, frame := range frames {
 		q := n.stack.frameQueue(frame)
@@ -195,8 +395,8 @@ func (n *NIC) transmitBatch(frames [][]byte) {
 		if i > 0 {
 			n.qCoalTx[q]++
 		}
-		if n.wire.Filter != nil && !n.wire.Filter(frame) {
-			n.wire.Dropped++
+		if ls != nil {
+			delivered = append(delivered, n.wire.conduct(ls, n.stack.env.CPU.Cycles(), frame)...)
 			continue
 		}
 		wireCopy := make([]byte, len(frame))

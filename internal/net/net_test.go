@@ -428,14 +428,14 @@ func TestRetransmissionRecoversLoss(t *testing.T) {
 	const port, total = 5001, 6000
 	// Drop the first data segment once.
 	dropped := false
-	w.Filter = func(frame []byte) bool {
+	w.ArmBoth(LinkFaults{DropFn: func(frame []byte) bool {
 		h, _, err := decodeFrame(frame)
 		if err == nil && h.PayloadLen > 0 && !dropped {
 			dropped = true
-			return false
+			return true
 		}
-		return true
-	}
+		return false
+	}})
 	l, _ := server.stack.Listen(port, 4)
 	var received []byte
 	s.Spawn("server", server.cpu, func(th *sched.Thread) {

@@ -58,12 +58,12 @@ func TestRecvErrorStillAdvertisesWindow(t *testing.T) {
 
 	// Record every window the server advertises to the client.
 	var adv []int
-	w.Filter = func(frame []byte) bool {
+	w.ArmBoth(LinkFaults{DropFn: func(frame []byte) bool {
 		if h, _, err := decodeFrame(frame); err == nil && h.SrcIP == server.stack.IP() {
 			adv = append(adv, int(h.Wnd))
 		}
-		return true
-	}
+		return false
+	}})
 
 	const port, total = 5001, 12_000
 	l, err := server.stack.Listen(port, 4)

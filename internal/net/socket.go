@@ -1,10 +1,12 @@
 package net
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"flexos/internal/core/gate"
+	"flexos/internal/fault"
 	"flexos/internal/mem"
 	"flexos/internal/sched"
 )
@@ -81,15 +83,18 @@ type seg struct {
 	addr mem.Addr // payload start within the buffer
 	off  int      // consumed prefix
 	n    int      // total payload bytes
+	seq  uint32   // first sequence number (reassembly queue ordering)
 	at   uint64   // virtual cycle the payload arrived off the wire
 }
 
 // rtxSeg is an unacknowledged segment kept for retransmission as a
-// wire-format copy.
+// wire-format copy, stamped for RTT estimation.
 type rtxSeg struct {
-	seq   uint32
-	flags uint8
-	frame []byte
+	seq    uint32
+	flags  uint8
+	frame  []byte
+	sentAt uint64 // virtual cycle of the original transmission
+	rtxed  bool   // retransmitted at least once: Karn excludes it from RTT
 }
 
 // Socket is one TCP endpoint.
@@ -110,6 +115,11 @@ type Socket struct {
 	rcvNxt     uint32
 	rcvSem     Sem
 	rcvEOF     bool
+	// oooQ holds ahead-of-sequence segments awaiting reassembly (bounded
+	// by oooCap); rcvQueued does not count them — the advertised window
+	// covers in-order data only, so the duplicate ACKs a gap provokes
+	// carry an unchanged window and register at the sender as such.
+	oooQ []seg
 
 	// Send side.
 	iss      uint32
@@ -119,6 +129,29 @@ type Socket struct {
 	rtx      []rtxSeg
 	rtxTimer *sched.Timer
 	sndSem   Sem
+	// dupAcks counts consecutive pure duplicate ACKs (fast retransmit
+	// fires at 3).
+	dupAcks int
+	// Jacobson/Karn RTT estimator state (virtual cycles).
+	srtt     uint64
+	rttvar   uint64
+	rttValid bool
+	// Zero-window probe state: armed only while the peer advertises a
+	// zero window and a sender is parked on it.
+	zwpTimer *sched.Timer
+	zwpCount int
+	// Keepalive state (enabled by Config.KeepaliveTicks).
+	kaTimer  *sched.Timer
+	kaProbes int
+	// lastActivity is the timer-wheel tick of the last frame heard from
+	// the peer (not CPU cycles: a parked machine's cycle clock stands
+	// still while the timer wheel keeps advancing).
+	lastActivity uint64
+	// deathReported marks that the typed NetTimeout was delivered to an
+	// API caller once; later calls see a plain closed-connection error,
+	// so a supervisor restart's replay settles clean (a recovery) while
+	// the application's retry logic reconnects.
+	deathReported bool
 
 	// Listener side.
 	acceptQ   []*Socket
@@ -155,6 +188,24 @@ func (s *Socket) RemoteAddr() (IPAddr, uint16) { return s.remoteIP, s.remotePort
 
 // Err reports a fatal socket error (reset), if any.
 func (s *Socket) Err() error { return s.sockErr }
+
+// takeErr returns the socket's fatal error for delivery to an API
+// caller. A typed *fault.NetTimeout is delivered exactly once — the
+// first call carries it upward so the owning compartment's gate can
+// classify it into a containable trap; every later call sees a plain
+// closed-connection error, which lets a supervisor restart's replay
+// settle clean instead of re-trapping forever on the same dead socket.
+func (s *Socket) takeErr() error {
+	err := s.sockErr
+	var nt *fault.NetTimeout
+	if errors.As(err, &nt) {
+		if s.deathReported {
+			return fmt.Errorf("%w after net timeout", ErrConnClosed)
+		}
+		s.deathReported = true
+	}
+	return err
+}
 
 // HeadArrival reports the virtual cycle at which the oldest undrained
 // payload arrived off the wire (0 when the receive queue is empty).
@@ -199,7 +250,7 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 	st := s.stack
 	for {
 		if s.sockErr != nil {
-			return 0, s.sockErr
+			return 0, s.takeErr()
 		}
 		if len(s.rcvQ) > 0 {
 			break
@@ -275,7 +326,7 @@ func (s *Socket) Recv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 // batch takes only what that burst already delivered.
 func (s *Socket) TryRecv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 	if s.sockErr != nil {
-		return 0, s.sockErr
+		return 0, s.takeErr()
 	}
 	if len(s.rcvQ) == 0 {
 		if s.rcvEOF {
@@ -290,7 +341,7 @@ func (s *Socket) TryRecv(t *sched.Thread, dst mem.Addr, n int) (int, error) {
 // buffer descriptor (see RecvRef).
 func (s *Socket) TryRecvRef(t *sched.Thread, b mem.BufRef) (int, error) {
 	if s.sockErr != nil {
-		return 0, s.sockErr
+		return 0, s.takeErr()
 	}
 	if len(s.rcvQ) == 0 {
 		if s.rcvEOF {
@@ -336,7 +387,7 @@ func (s *Socket) doSend(t *sched.Thread, src mem.Addr, n int) (int, error) {
 	sent := 0
 	for sent < n {
 		if s.sockErr != nil {
-			return sent, s.sockErr
+			return sent, s.takeErr()
 		}
 		if s.state != stEstablished && s.state != stCloseWait {
 			return sent, ErrConnClosed
@@ -347,6 +398,12 @@ func (s *Socket) doSend(t *sched.Thread, src mem.Addr, n int) (int, error) {
 		}
 		avail := window - s.inflight()
 		if avail <= 0 {
+			// A peer advertising a zero window may reopen it with an
+			// ACK the drop model eats — probe so the reopened window is
+			// rediscovered instead of deadlocking the parked sender.
+			if s.sndWnd == 0 {
+				st.armZwp(s)
+			}
 			st.semDown(t, s.sndSem)
 			continue
 		}

@@ -1,10 +1,12 @@
 package net
 
 import (
+	"errors"
 	"fmt"
 
 	"flexos/internal/clock"
 	"flexos/internal/core/gate"
+	"flexos/internal/fault"
 	"flexos/internal/mem"
 	"flexos/internal/rt"
 	"flexos/internal/sched"
@@ -28,6 +30,26 @@ type Stats struct {
 	// collapsed into a later cumulative ACK of the same rx burst, or
 	// piggybacked on an outgoing data segment.
 	AcksElided uint64
+	// FastRetransmits counts segments resent on the third duplicate ACK,
+	// before the retransmission timer fired (also counted in
+	// Retransmits).
+	FastRetransmits uint64
+	// ChecksumDrops counts frames rejected by checksum validation —
+	// injected bit corruption detected instead of delivered (also
+	// counted in DroppedIn).
+	ChecksumDrops uint64
+	// OOOQueued counts out-of-order segments buffered in the reassembly
+	// queue rather than dropped (reordered links stop costing an RTO per
+	// swap).
+	OOOQueued uint64
+	// ZeroWndProbes counts window probes sent against a peer advertising
+	// a zero window.
+	ZeroWndProbes uint64
+	// KeepaliveProbes counts keepalive probes sent on idle connections.
+	KeepaliveProbes uint64
+	// NetDeaths counts connections declared dead (retransmit exhaustion
+	// or keepalive failure) and delivered as typed NetTimeout faults.
+	NetDeaths uint64
 }
 
 // connKey demultiplexes established connections.
@@ -51,7 +73,8 @@ type Config struct {
 	// RtxDelayTicks is the retransmission timeout in virtual timer
 	// ticks (default 1000).
 	RtxDelayTicks uint64
-	// RtxLimit bounds consecutive retransmissions of the same data
+	// RtxLimit bounds consecutive retransmissions of the same data —
+	// and consecutive zero-window probes answered without progress —
 	// before the connection is reset (default 8).
 	RtxLimit int
 	// SocketMode selects direct execution or the tcpip-thread
@@ -96,6 +119,15 @@ type Config struct {
 	QueueCPU []int
 	// TCPIPCPU is the vCPU the tcpip thread is pinned to (default 0).
 	TCPIPCPU int
+	// KeepaliveTicks enables keepalive probing: after KeepaliveTicks of
+	// connection silence a probe goes out, and KeepaliveProbes unanswered
+	// probes declare the peer dead (a typed NetTimeout fault). 0 (the
+	// default) disables keepalive — an always-armed timer would perturb
+	// idle-time accounting of fault-free runs.
+	KeepaliveTicks uint64
+	// KeepaliveProbes bounds unanswered keepalive probes before the
+	// connection is declared dead (default 3 when keepalive is enabled).
+	KeepaliveProbes int
 }
 
 // Stack is one machine's TCP/IP stack instance.
@@ -115,6 +147,12 @@ type Stack struct {
 	maxInflight int
 	rtxDelay    uint64
 	rtxLimit    int
+	keepalive   uint64
+	kaLimit     int
+	// eventTracer, when set, receives transport fault/recovery events
+	// (fast-rtx, rto, zwp, keepalive, checksum-drop, net-death) as
+	// instant events for the observability timeline.
+	eventTracer func(kind, note string)
 
 	restHard   *sh.Hardener
 	mode       SocketMode
@@ -164,6 +202,9 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 	if cfg.NumQueues < 1 {
 		cfg.NumQueues = 1
 	}
+	if cfg.KeepaliveTicks > 0 && cfg.KeepaliveProbes <= 0 {
+		cfg.KeepaliveProbes = 3
+	}
 	ncpu := 1
 	if env != nil && env.CPU != nil {
 		ncpu = env.CPU.NCPU()
@@ -188,6 +229,8 @@ func NewStack(env *rt.Env, sup Support, s sched.Scheduler, cfg Config) *Stack {
 		maxInflight:   cfg.MaxInflight,
 		rtxDelay:      cfg.RtxDelayTicks,
 		rtxLimit:      cfg.RtxLimit,
+		keepalive:     cfg.KeepaliveTicks,
+		kaLimit:       cfg.KeepaliveProbes,
 		restHard:      cfg.RestHard,
 		mode:          cfg.SocketMode,
 		delayedAck:    cfg.DelayedAck,
@@ -209,6 +252,17 @@ func (st *Stack) IP() IPAddr { return st.ip }
 
 // Stats returns a copy of the counters.
 func (st *Stack) Stats() Stats { return st.stats }
+
+// SetEventTracer installs a hook receiving transport fault/recovery
+// events (kind, note) for the observability timeline's instant events.
+func (st *Stack) SetEventTracer(fn func(kind, note string)) { st.eventTracer = fn }
+
+// traceEvent emits one transport event to the tracer, if installed.
+func (st *Stack) traceEvent(kind, note string) {
+	if st.eventTracer != nil {
+		st.eventTracer(kind, note)
+	}
+}
 
 // Env exposes the stack's runtime environment (used by LibC shims to
 // route gates correctly in tests).
@@ -411,7 +465,7 @@ func (st *Stack) doConnect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, er
 		st.semDown(t, s.connSem)
 	}
 	if s.sockErr != nil {
-		return nil, s.sockErr
+		return nil, s.takeErr()
 	}
 	return s, nil
 }
@@ -532,7 +586,8 @@ func (st *Stack) sendData(s *Socket, src mem.Addr, n int) error {
 	s.delAckPending = 0
 	st.ackCancel(s)
 	s.sndNxt += uint32(n)
-	s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: h.Flags, frame: frame})
+	s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: h.Flags, frame: frame,
+		sentAt: st.env.CPU.Cycles()})
 	st.armRtx(s)
 	st.stats.SegsOut++
 	st.stats.BytesOut += uint64(n)
@@ -560,7 +615,8 @@ func (st *Stack) sendFlags(s *Socket, flags uint8) error {
 	if flags&(flagFIN|flagSYN) != 0 {
 		// SYN and FIN each consume a sequence number and are kept for
 		// retransmission.
-		s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: flags, frame: frame})
+		s.rtx = append(s.rtx, rtxSeg{seq: h.Seq, flags: flags, frame: frame,
+			sentAt: st.env.CPU.Cycles()})
 		s.sndNxt++
 		st.armRtx(s)
 		// Handshake and teardown latency must not wait on a doorbell:
@@ -584,12 +640,56 @@ func (st *Stack) chargeTx(frameLen, payloadLen int) {
 	_ = payloadLen
 }
 
-// armRtx starts the retransmission timer if not running.
+// rto is the socket's current retransmission timeout: the Jacobson
+// estimate srtt + 4*rttvar once samples exist, floored at the
+// configured RtxDelayTicks (which keeps fault-free timer schedules
+// identical to the fixed-timeout stack — inline delivery yields RTT
+// samples far below the floor) and capped so exhaustion is reached in
+// bounded virtual time even on a high-RTT path.
+func (st *Stack) rto(s *Socket) uint64 {
+	if !s.rttValid {
+		return st.rtxDelay
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < st.rtxDelay {
+		rto = st.rtxDelay
+	}
+	if hi := st.rtxDelay << uint(st.rtxLimit); rto > hi {
+		rto = hi
+	}
+	return rto
+}
+
+// rttSample feeds one measurement into the Jacobson/Karn estimator.
+// Callers must not sample retransmitted segments (Karn's rule): an ACK
+// for a retransmitted sequence range is ambiguous about which copy it
+// acknowledges.
+func (s *Socket) rttSample(m uint64) {
+	if !s.rttValid {
+		s.srtt = m
+		s.rttvar = m / 2
+		s.rttValid = true
+		return
+	}
+	d := m - s.srtt
+	if m < s.srtt {
+		d = s.srtt - m
+	}
+	s.rttvar = (3*s.rttvar + d) / 4
+	s.srtt = (7*s.srtt + m) / 8
+}
+
+// armRtx starts the retransmission timer if not running. The timeout
+// adapts to the measured RTT (see rto) and doubles per consecutive
+// expiry — Karn's backoff — until RtxLimit, where the connection is
+// declared dead with a typed NetTimeout the containment layer can
+// classify.
 func (st *Stack) armRtx(s *Socket) {
 	if s.rtxTimer != nil {
 		return
 	}
 	count := 0
+	start := st.env.CPU.Cycles()
 	var fire func()
 	fire = func() {
 		if len(s.rtx) == 0 || s.sockErr != nil {
@@ -598,44 +698,188 @@ func (st *Stack) armRtx(s *Socket) {
 		}
 		count++
 		if count > st.rtxLimit {
-			st.abort(s, fmt.Errorf("%w after %d retransmits", ErrTimeout, st.rtxLimit))
 			s.rtxTimer = nil
+			st.netDeath(s, "netstack:rtx", st.rtxLimit, 0, st.env.CPU.Cycles()-start)
 			return
 		}
-		for _, r := range s.rtx {
+		st.traceEvent("net-rto", fmt.Sprintf("rtx %d port %d", count, s.localPort))
+		// Inline delivery means a retransmitted frame can be ACKed — and
+		// the rtx queue trimmed — before transmit returns, so the bound
+		// is re-read every iteration and entries are addressed by index.
+		for i := 0; i < len(s.rtx); i++ {
+			r := &s.rtx[i]
+			r.rtxed = true // Karn: never sample a retransmitted segment
+			frame := r.frame
 			st.stats.Retransmits++
 			st.stats.SegsOut++
-			st.chargeTx(len(r.frame), 0)
-			st.transmit(r.frame)
+			st.chargeTx(len(frame), 0)
+			st.transmit(frame)
 		}
 		// Retransmissions ride one doorbell; the timer context has no
 		// blocking point to kick for them later.
 		st.txKick()
-		s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay<<uint(count), fire)
+		s.rtxTimer = st.scheduler.Timers().After(st.rto(s)<<uint(count), fire)
 	}
-	s.rtxTimer = st.scheduler.Timers().After(st.rtxDelay, fire)
+	s.rtxTimer = st.scheduler.Timers().After(st.rto(s), fire)
+}
+
+// sendProbe emits a window/keepalive probe: one garbage byte below the
+// peer's expected sequence number. The peer drops it as out-of-window
+// and answers with a duplicate ACK carrying its current window — the
+// liveness signal the prober is after — without any sequence-space
+// side effects.
+func (st *Stack) sendProbe(s *Socket) {
+	h := &header{
+		SrcIP: s.localIP, DstIP: s.remoteIP,
+		SrcPort: s.localPort, DstPort: s.remotePort,
+		Seq: s.sndUna - 1, Ack: s.rcvNxt,
+		Flags: flagACK,
+		Wnd:   uint16(s.rcvWnd()),
+	}
+	frame := make([]byte, HdrLen+1)
+	if _, err := encodeFrame(frame, h, []byte{0}); err != nil {
+		return
+	}
+	st.chargeTx(len(frame), 0)
+	st.stats.SegsOut++
+	// Probes run in timer context and must not strand in the doorbell.
+	st.txKick()
+	st.transmitNow(frame)
+}
+
+// armZwp starts the zero-window probe timer. It is armed only when the
+// peer's advertised window is exactly zero and a sender is about to
+// park on it — the one state where no ACK is owed to us and the
+// window-update that reopens flow control can be lost forever — and
+// disarmed by the first ACK advertising space (processAck). Fault-free
+// runs cannot reach a full scheduler drain in this state (that would
+// have been a flow-control deadlock before probes existed), so the
+// timer changes nothing when the wire is clean.
+//
+// Probing is not indefinite: a peer whose window never reopens — its
+// application is dead but its transport still answers — is as gone as
+// one that stops ACKing, so after RtxLimit unanswered-by-progress
+// probes the connection dies with the same typed NetTimeout as
+// retransmission exhaustion. Without the cap a crashed receiver would
+// keep the probe clock ticking forever and the scheduler could never
+// drain.
+func (st *Stack) armZwp(s *Socket) {
+	if s.zwpTimer != nil || st.nic == nil {
+		return
+	}
+	start := st.scheduler.Timers().Now()
+	var fire func()
+	fire = func() {
+		if s.sockErr != nil || s.state == stClosed || s.sndWnd > 0 {
+			s.zwpTimer = nil
+			return
+		}
+		if s.zwpCount >= st.rtxLimit {
+			s.zwpTimer = nil
+			st.netDeath(s, "netstack:zwp", 0, s.zwpCount,
+				st.scheduler.Timers().Now()-start)
+			return
+		}
+		s.zwpCount++
+		st.stats.ZeroWndProbes++
+		st.traceEvent("net-zwp", fmt.Sprintf("probe %d port %d", s.zwpCount, s.localPort))
+		st.sendProbe(s)
+		backoff := s.zwpCount
+		if backoff > 6 {
+			backoff = 6
+		}
+		s.zwpTimer = st.scheduler.Timers().After(st.rto(s)<<uint(backoff), fire)
+	}
+	s.zwpCount = 0
+	s.zwpTimer = st.scheduler.Timers().After(st.rto(s), fire)
+}
+
+// armKeepalive starts the idle-connection prober on an established
+// socket. Configured off by default; when on, a connection silent for
+// KeepaliveTicks is probed, and KeepaliveProbes unanswered probes
+// declare the peer dead with a typed NetTimeout.
+func (st *Stack) armKeepalive(s *Socket) {
+	if st.keepalive == 0 || s.kaTimer != nil {
+		return
+	}
+	var fire func()
+	fire = func() {
+		if s.sockErr != nil || s.state == stClosed {
+			s.kaTimer = nil
+			return
+		}
+		// Idle time is measured on the timer wheel's clock, not CPU
+		// cycles: a fully parked machine burns no cycles, so a
+		// cycle-based idle would never grow and the timer would re-arm
+		// forever without ever probing.
+		now := st.scheduler.Timers().Now()
+		idle := now - s.lastActivity
+		if idle < st.keepalive {
+			// The connection spoke since the last check: probe budget
+			// resets and the timer re-arms for the remaining idle window.
+			s.kaProbes = 0
+			s.kaTimer = st.scheduler.Timers().After(st.keepalive-idle, fire)
+			return
+		}
+		s.kaProbes++
+		if s.kaProbes > st.kaLimit {
+			s.kaTimer = nil
+			st.netDeath(s, "netstack:keepalive", 0, st.kaLimit, idle)
+			return
+		}
+		st.stats.KeepaliveProbes++
+		st.traceEvent("net-keepalive", fmt.Sprintf("probe %d port %d", s.kaProbes, s.localPort))
+		st.sendProbe(s)
+		s.kaTimer = st.scheduler.Timers().After(st.keepalive, fire)
+	}
+	s.lastActivity = st.scheduler.Timers().Now()
+	s.kaTimer = st.scheduler.Timers().After(st.keepalive, fire)
+}
+
+// netDeath declares a connection dead and aborts it with the typed
+// NetTimeout cause. The first socket-API call that observes the death
+// returns the typed error, which an isolating gate's Contain/Classify
+// boundary converts into a Trap{Kind: KindNetTimeout} — network death
+// then settles against the owning compartment's onfault policy exactly
+// like a memory fault.
+func (st *Stack) netDeath(s *Socket, pc string, retransmits, probes int, elapsed uint64) {
+	st.stats.NetDeaths++
+	st.traceEvent("net-death", fmt.Sprintf("%s port %d", pc, s.localPort))
+	st.abort(s, &fault.NetTimeout{PC: pc, Retransmits: retransmits, Probes: probes, Elapsed: elapsed})
 }
 
 // abort fails the connection and wakes every sleeper. Queued received
-// data is discarded — a reset connection has nothing left to read — so
-// the rx buffers go back to their allocator (the pool's leak accounting
-// counts them otherwise).
+// data — in-order and reassembly queues both — is discarded: a reset
+// connection has nothing left to read, and the rx buffers go back to
+// their allocator (the pool's leak accounting counts them otherwise).
 func (st *Stack) abort(s *Socket, err error) {
 	s.sockErr = err
 	s.state = stClosed
-	if s.rtxTimer != nil {
-		s.rtxTimer.Stop()
-		s.rtxTimer = nil
+	for _, tm := range []**sched.Timer{&s.rtxTimer, &s.zwpTimer, &s.kaTimer, &s.delAckTimer} {
+		if *tm != nil {
+			(*tm).Stop()
+			*tm = nil
+		}
 	}
 	for _, sg := range s.rcvQ {
 		_ = st.releaseRx(sg.own)
 	}
 	s.rcvQ = nil
 	s.rcvQueued = 0
+	st.releaseOOO(s)
 	st.semUp(s.rcvSem)
 	st.semUp(s.sndSem)
 	st.semUp(s.connSem)
 	delete(st.conns, connKey{s.localPort, s.remoteIP, s.remotePort})
+}
+
+// releaseOOO returns every buffered out-of-order segment to its
+// allocator (connection teardown: the gaps will never fill).
+func (st *Stack) releaseOOO(s *Socket) {
+	for _, sg := range s.oooQ {
+		_ = st.releaseRx(sg.own)
+	}
+	s.oooQ = nil
 }
 
 // --- Input path ----------------------------------------------------
@@ -680,6 +924,12 @@ func (st *Stack) input(frame []byte) {
 	}
 	h, payload, err := decodeFrame(dma)
 	if err != nil {
+		if errors.Is(err, ErrBadChecksum) {
+			// Injected bit corruption: detected and dropped, never
+			// delivered. The sender's retransmission resends clean bytes.
+			st.stats.ChecksumDrops++
+			st.traceEvent("net-checksum-drop", err.Error())
+		}
 		st.stats.DroppedIn++
 		return
 	}
@@ -760,9 +1010,12 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 		st.abort(s, ErrConnReset)
 		return false
 	}
+	// Any segment from the peer is proof of life for the keepalive
+	// prober (timer-wheel clock; see armKeepalive).
+	s.lastActivity = st.scheduler.Timers().Now()
 	// ACK processing (sender side).
 	if h.has(flagACK) {
-		st.processAck(s, h)
+		st.processAck(s, h, payloadLen)
 	}
 	switch s.state {
 	case stSynSent:
@@ -771,6 +1024,7 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 			s.sndUna = h.Ack
 			s.sndWnd = int(h.Wnd)
 			s.state = stEstablished
+			st.armKeepalive(s)
 			_ = st.sendFlags(s, flagACK)
 			st.semUp(s.connSem)
 		}
@@ -778,6 +1032,7 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 	case stSynRcvd:
 		if h.has(flagACK) && h.Ack == s.iss+1 {
 			s.state = stEstablished
+			st.armKeepalive(s)
 			if s.listener != nil {
 				s.listener.acceptQ = append(s.listener.acceptQ, s)
 				st.semUp(s.listener.acceptSem)
@@ -796,6 +1051,7 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 	if h.has(flagFIN) && h.Seq+uint32(payloadLen) == s.rcvNxt {
 		s.rcvNxt++
 		s.rcvEOF = true
+		st.releaseOOO(s)
 		if s.state == stEstablished {
 			s.state = stCloseWait
 		} else if s.state == stFinSent {
@@ -808,13 +1064,26 @@ func (st *Stack) process(s *Socket, h *header, payloadLen int, own rxOwn) bool {
 	return retained
 }
 
-// processAck advances sndUna, trims the retransmission queue and wakes
+// processAck advances sndUna, trims the retransmission queue, feeds the
+// RTT estimator, counts duplicate ACKs toward fast retransmit and wakes
 // blocked senders.
-func (st *Stack) processAck(s *Socket, h *header) {
+func (st *Stack) processAck(s *Socket, h *header, payloadLen int) {
+	prevWnd := s.sndWnd
 	s.sndWnd = int(h.Wnd)
-	if seqLess(s.sndUna, h.Ack) && seqLEq(h.Ack, s.sndNxt) {
+	// An ACK advertising space disarms the zero-window prober.
+	if s.sndWnd > 0 && s.zwpTimer != nil {
+		s.zwpTimer.Stop()
+		s.zwpTimer = nil
+	}
+	switch {
+	case seqLess(s.sndUna, h.Ack) && seqLEq(h.Ack, s.sndNxt):
 		s.sndUna = h.Ack
-		// Drop fully acknowledged segments.
+		s.dupAcks = 0
+		// Drop fully acknowledged segments; the newest one that was never
+		// retransmitted yields an RTT sample (Karn's rule excludes
+		// retransmitted ranges — the ACK is ambiguous about which copy it
+		// answers).
+		now := st.env.CPU.Cycles()
 		keep := s.rtx[:0]
 		for _, r := range s.rtx {
 			segEnd := r.seq + uint32(len(r.frame)-HdrLen)
@@ -823,6 +1092,10 @@ func (st *Stack) processAck(s *Socket, h *header) {
 			}
 			if seqLess(s.sndUna, segEnd) {
 				keep = append(keep, r)
+				continue
+			}
+			if !r.rtxed {
+				s.rttSample(now - r.sentAt)
 			}
 		}
 		s.rtx = keep
@@ -834,20 +1107,60 @@ func (st *Stack) processAck(s *Socket, h *header) {
 			// Our FIN is acknowledged and the peer's FIN was already
 			// received: the connection is fully closed.
 			s.state = stClosed
+			st.releaseOOO(s)
 			delete(st.conns, connKey{s.localPort, s.remoteIP, s.remotePort})
+		}
+	case h.Ack == s.sndUna && payloadLen == 0 && len(s.rtx) > 0 &&
+		int(h.Wnd) == prevWnd && prevWnd > 0 && !h.has(flagSYN) && !h.has(flagFIN):
+		// A pure duplicate ACK: same cumulative point, no data, no window
+		// news, data outstanding. Three in a row mean the peer keeps
+		// receiving (it answers something) but the oldest segment is
+		// missing — resend just that one now instead of waiting out the
+		// RTO. Window updates and zero-window probe answers don't count.
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			s.dupAcks = 0
+			r := &s.rtx[0]
+			r.rtxed = true // Karn: the resent range must not be sampled
+			st.stats.FastRetransmits++
+			st.stats.Retransmits++
+			st.stats.SegsOut++
+			st.traceEvent("net-fast-rtx", fmt.Sprintf("seq %d port %d", r.seq, s.localPort))
+			st.chargeTx(len(r.frame), 0)
+			st.transmit(r.frame)
 		}
 	}
 	// Window may have opened (or a duplicate ACK refreshed it).
 	st.semUp(s.sndSem)
 }
 
-// processData accepts in-order payload into the socket's receive
-// queue, zero-copy: the socket takes ownership of the rx buffer and
-// points at the payload inside it. Out-of-order segments are dropped
-// (the retransmission path recovers them) with a duplicate ACK. It
-// reports whether it retained the rx buffer.
+// oooCap bounds the per-socket out-of-order reassembly queue (segments
+// held while a gap waits on retransmission). Past it, further
+// out-of-order arrivals drop — the retransmission path still recovers.
+const oooCap = 16
+
+// processData accepts payload into the socket's receive queue,
+// zero-copy: the socket takes ownership of the rx buffer and points at
+// the payload inside it. In-order data queues directly (and pulls any
+// newly contiguous reassembly segments behind it); ahead-of-sequence
+// data parks in the bounded reassembly queue with a duplicate ACK
+// signalling the gap, so a reordered link costs dup-ACKs instead of an
+// RTO stall per swap. Stale or unbufferable segments drop with a
+// duplicate ACK. It reports whether it retained the rx buffer.
 func (st *Stack) processData(s *Socket, h *header, n int, own rxOwn) bool {
 	if h.Seq != s.rcvNxt {
+		if seqLess(s.rcvNxt, h.Seq) && len(s.oooQ) < oooCap &&
+			int(h.Seq-s.rcvNxt)+n <= s.rcvWndCap && !s.oooHas(h.Seq) {
+			// Ahead of sequence, within the buffer's reach, novel: hold it
+			// for reassembly. The duplicate ACK still goes out — the
+			// sender's fast-retransmit counter is how the gap gets filled
+			// quickly.
+			st.stats.OOOQueued++
+			s.oooQ = append(s.oooQ, seg{own: own, addr: own.base + HdrLen, n: n,
+				seq: h.Seq, at: st.env.CPU.Cycles()})
+			_ = st.sendFlags(s, flagACK)
+			return true
+		}
 		st.stats.DroppedIn++
 		_ = st.sendFlags(s, flagACK) // duplicate ACK
 		return false
@@ -862,13 +1175,61 @@ func (st *Stack) processData(s *Socket, h *header, n int, own rxOwn) bool {
 	// when the application thread gets scheduled: head-of-queue age is
 	// the overload signal overload-aware servers budget against.
 	s.rcvQ = append(s.rcvQ, seg{own: own, addr: own.base + HdrLen, n: n,
-		at: st.env.CPU.Cycles()})
+		seq: h.Seq, at: st.env.CPU.Cycles()})
 	s.rcvQueued += n
 	s.rcvNxt += uint32(n)
 	st.stats.BytesIn += uint64(n)
+	if len(s.oooQ) > 0 {
+		st.oooDrain(s)
+	}
 	st.ackData(s)
 	st.semUp(s.rcvSem)
 	return true
+}
+
+// oooHas reports whether a reassembly segment with this sequence number
+// is already queued (a duplicated out-of-order arrival).
+func (s *Socket) oooHas(seq uint32) bool {
+	for _, sg := range s.oooQ {
+		if sg.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// oooDrain moves newly contiguous reassembly segments into the receive
+// queue and discards entries the advancing cumulative point made stale.
+func (st *Stack) oooDrain(s *Socket) {
+	for {
+		found := -1
+		for i, sg := range s.oooQ {
+			if sg.seq == s.rcvNxt {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		sg := s.oooQ[found]
+		s.oooQ = append(s.oooQ[:found], s.oooQ[found+1:]...)
+		s.rcvQ = append(s.rcvQ, sg)
+		s.rcvQueued += sg.n
+		s.rcvNxt += uint32(sg.n)
+		st.stats.BytesIn += uint64(sg.n)
+	}
+	keep := s.oooQ[:0]
+	for _, sg := range s.oooQ {
+		if !seqLess(s.rcvNxt, sg.seq) {
+			// At or behind the cumulative point: a retransmission beat it
+			// here. Nothing left to reassemble from it.
+			_ = st.releaseRx(sg.own)
+			continue
+		}
+		keep = append(keep, sg)
+	}
+	s.oooQ = keep
 }
 
 // ackData acknowledges accepted payload: immediately by default, or
