@@ -710,3 +710,32 @@ func BenchmarkParetoFront(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAutotune measures the closed exploration loop: every
+// backend's static Pareto front booted and measured under the real
+// workload, the model validated point by point, and a calibration
+// fitted back. All metrics are virtual-time, so they are exactly
+// reproducible; the gate pins the sweep's shape (points, boots, memo
+// hits) and the post-calibration model quality.
+func BenchmarkAutotune(b *testing.B) {
+	var res *harness.AutotuneResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.Autotune(harness.DefaultAutotuneOpts(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Points)), "sim-points")
+	b.ReportMetric(float64(res.UniqueRuns), "sim-boots")
+	b.ReportMetric(float64(res.MemoHits), "sim-memo-hits")
+	b.ReportMetric(float64(res.FrontSize), "sim-front-size")
+	b.ReportMetric(res.PostMAEPct, "sim-post-mae-%")
+	cheapest := res.Points[0]
+	for _, p := range res.Points {
+		if p.Measured < cheapest.Measured {
+			cheapest = p
+		}
+	}
+	b.ReportMetric(cheapest.Measured, "sim-best-cycles-op")
+}

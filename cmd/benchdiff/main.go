@@ -15,7 +15,7 @@
 //
 // Without -input it runs
 //
-//	go test -run=NONE -bench='^(BenchmarkExplore|BenchmarkFig3DataPath|BenchmarkOverload|BenchmarkGateCall|BenchmarkGateCallBatch|BenchmarkBatching|BenchmarkSmp|BenchmarkChaosnet)$' -benchtime=1x -count=3 .
+//	go test -run=NONE -bench='^(BenchmarkExplore|BenchmarkFig3DataPath|BenchmarkOverload|BenchmarkGateCall|BenchmarkGateCallBatch|BenchmarkBatching|BenchmarkSmp|BenchmarkChaosnet|BenchmarkAutotune)$' -benchtime=1x -count=3 .
 //
 // in the current directory. With -input it checks a saved `go test
 // -bench` output instead — which is also how the gate itself is
@@ -242,7 +242,7 @@ func loadBaseline(path string) (*baseline, error) {
 
 func runBenches(count int) (string, error) {
 	cmd := exec.Command("go", "test", "-run=NONE",
-		"-bench=^(BenchmarkExplore|BenchmarkFig3DataPath|BenchmarkOverload|BenchmarkGateCall|BenchmarkGateCallBatch|BenchmarkBatching|BenchmarkSmp|BenchmarkChaosnet)$",
+		"-bench=^(BenchmarkExplore|BenchmarkFig3DataPath|BenchmarkOverload|BenchmarkGateCall|BenchmarkGateCallBatch|BenchmarkBatching|BenchmarkSmp|BenchmarkChaosnet|BenchmarkAutotune)$",
 		"-benchtime=1x", fmt.Sprintf("-count=%d", count), ".")
 	out, err := cmd.CombinedOutput()
 	if err != nil {

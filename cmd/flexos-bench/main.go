@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|smp|chaosnet|all [-quick] [-ops N]
-//	            [-metrics] [-profile trace.json] [-metrics-out attribution.json]
+//	flexos-bench -exp fig3|table1|fig4|fig5|ctxswitch|datapath|blastradius|overload|batching|smp|chaosnet|autotune|all [-quick] [-ops N]
+//	            [-metrics] [-profile trace.json] [-metrics-out attribution.json] [-autotune-out report.json]
 //
 // -metrics prints a per-compartment cycle-attribution table for each
 // image of the selected experiment, reconciled against the machine's
@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, smp, chaosnet, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, fig4, fig5, ctxswitch, datapath, blastradius, overload, batching, smp, chaosnet, autotune, all")
 	quick := flag.Bool("quick", false, "thin sweeps for a faster run")
 	ops := flag.Int("ops", 300, "redis requests per measurement")
 	metricsFlag := flag.Bool("metrics", false, "print per-compartment cycle-attribution tables for the selected experiment")
 	profile := flag.String("profile", "", "write a Chrome trace-event timeline of the first observed image to this file")
 	metricsOut := flag.String("metrics-out", "", "write attribution + metrics snapshots of the observed images as JSON to this file")
+	autotuneOut := flag.String("autotune-out", "", "write the autotune model-validation report as JSON to this file")
 	flag.Parse()
 
 	run := func(name string) error {
@@ -101,6 +102,23 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatChaosnet(r))
+		case "autotune":
+			r, err := harness.Autotune(harness.DefaultAutotuneOpts(*quick))
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatAutotune(r))
+			if *autotuneOut != "" {
+				b, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return err
+				}
+				b = append(b, '\n')
+				if err := os.WriteFile(*autotuneOut, b, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("autotune: wrote model-validation report to %s\n", *autotuneOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -110,7 +128,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching", "smp", "chaosnet"}
+		names = []string{"fig3", "table1", "fig4", "fig5", "ctxswitch", "datapath", "blastradius", "overload", "batching", "smp", "chaosnet", "autotune"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

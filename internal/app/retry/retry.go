@@ -76,7 +76,14 @@ func (p Policy) Do(env *rt.Env, attempt func() error) error {
 		return x * 0x2545f4914f6cdd1d
 	}
 	var err error
+	// Cap bounds every delay drawn, including the first: a Base above
+	// Cap used to slip through uncapped (the cap was only applied after
+	// doubling) and the doubling itself could overflow uint64 for large
+	// bases, wrapping the delay to near zero.
 	delay := base
+	if delay > cap {
+		delay = cap
+	}
 	for i := 0; i < attempts; i++ {
 		if err = attempt(); err == nil {
 			return nil
@@ -86,9 +93,10 @@ func (p Policy) Do(env *rt.Env, attempt func() error) error {
 		}
 		d := delay/2 + next()%(delay/2+1)
 		env.Charge(d)
-		delay *= 2
-		if delay > cap {
+		if delay > cap/2 {
 			delay = cap
+		} else {
+			delay *= 2
 		}
 	}
 	return err

@@ -1,0 +1,215 @@
+// Calibration closes the exploration loop: the static cost model
+// (score) predicts cycles per operation from three terms — baseline,
+// crossing traffic, hardening tax — and the autotune harness measures
+// the same configurations for real. Fitting the measured cycles
+// against the per-candidate term breakdown yields corrected model
+// constants, returned as a rescaled Workload so the explorer's next
+// ranking starts from ground truth instead of hand-tuned rates.
+
+package explore
+
+import "flexos/internal/core/gate"
+
+// CostBreakdown decomposes one candidate's static prediction into the
+// model's terms, in cycles per operation:
+//
+//	EstCycles = Base + Crossing + SHTax
+//
+// Base is the workload's uncompartmentalized baseline, Crossing the
+// gate traffic of every separated pair, SHTax the hardening taxes.
+type CostBreakdown struct {
+	Base     float64
+	Crossing float64
+	SHTax    float64
+}
+
+// Predicted is the model's total for this breakdown.
+func (b CostBreakdown) Predicted() float64 { return b.Base + b.Crossing + b.SHTax }
+
+// Breakdown recomputes the candidate's cost term by term under w. The
+// sum equals the candidate's EstCycles when w is the workload it was
+// explored with.
+func Breakdown(c *Candidate, w Workload) CostBreakdown {
+	sc := newScoreCtx(c.Libs, c.Backend, w)
+	b := CostBreakdown{Base: sc.base}
+	for _, r := range sc.rates {
+		if c.Assignment.Colors[r.i] != c.Assignment.Colors[r.j] {
+			b.Crossing += r.rate * sc.cross
+		}
+	}
+	for i, l := range c.Libs {
+		if len(l.Hardened) > 0 {
+			b.SHTax += sc.shTax[i]
+		}
+	}
+	return b
+}
+
+// CalPoint pairs one candidate's predicted cost terms with the cycles
+// the simulator actually measured for that configuration.
+type CalPoint struct {
+	Breakdown CostBreakdown
+	Measured  float64
+}
+
+// Calibration is a fitted correction of the cost model:
+//
+//	measured ≈ Base + CrossScale·Crossing + SHScale·SHTax
+//
+// Base replaces the workload baseline outright; the two scales
+// multiply the crossing and hardening terms.
+type Calibration struct {
+	Base       float64
+	CrossScale float64
+	SHScale    float64
+	// Scalar marks a degenerate fit (too few points, or no variance in
+	// a term) that fell back to one proportional factor for all terms.
+	Scalar bool
+}
+
+// Calibrate fits the three model constants to the measured points by
+// least squares on the normal equations. The design matrix needs
+// variance in both the crossing and hardening columns — a point set
+// from a single Pareto front usually has it — and falls back to a
+// single proportional scale when it is rank-deficient (then Scalar is
+// set). Fitted scales are clamped to be non-negative: the downstream
+// workload rewrite multiplies call rates and taxes, which must not
+// turn negative. With no points the identity calibration is returned.
+func Calibrate(points []CalPoint) Calibration {
+	if len(points) == 0 {
+		return Calibration{Base: 0, CrossScale: 1, SHScale: 1, Scalar: true}
+	}
+	if cal, ok := solve3(points); ok {
+		if cal.Base < 0 {
+			cal.Base = 0
+		}
+		if cal.CrossScale < 0 {
+			cal.CrossScale = 0
+		}
+		if cal.SHScale < 0 {
+			cal.SHScale = 0
+		}
+		return cal
+	}
+	// Rank-deficient: fit measured ≈ s·predicted through the origin.
+	var num, den float64
+	for _, p := range points {
+		pred := p.Breakdown.Predicted()
+		num += p.Measured * pred
+		den += pred * pred
+	}
+	s := 1.0
+	if den > 0 {
+		s = num / den
+	}
+	if s < 0 {
+		s = 0
+	}
+	return Calibration{Base: s * points[0].Breakdown.Base, CrossScale: s, SHScale: s, Scalar: true}
+}
+
+// solve3 solves the 3-parameter normal equations XᵀX·β = Xᵀy with
+// X rows (1, crossing, shtax). It reports ok=false when the system is
+// singular (no variance in a column, or fewer than 3 points).
+func solve3(points []CalPoint) (Calibration, bool) {
+	if len(points) < 3 {
+		return Calibration{}, false
+	}
+	var a [3][3]float64
+	var b [3]float64
+	for _, p := range points {
+		x := [3]float64{1, p.Breakdown.Crossing, p.Breakdown.SHTax}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			b[i] += x[i] * p.Measured
+		}
+	}
+	// Gaussian elimination with partial pivoting. The pivot threshold
+	// is scaled to the matrix magnitude so "no variance" is detected at
+	// any cycle scale.
+	scale := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if v := a[i][j]; v > scale {
+				scale = v
+			} else if -v > scale {
+				scale = -v
+			}
+		}
+	}
+	const relEps = 1e-9
+	eps := scale * relEps
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv][col]) <= eps {
+			return Calibration{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for j := col; j < 3; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return Calibration{
+		Base:       b[0] / a[0][0],
+		CrossScale: b[1] / a[1][1],
+		SHScale:    b[2] / a[2][2],
+	}, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Apply rewrites a workload with the fitted constants: BaseCycles is
+// replaced by the fitted intercept, every call rate is scaled by
+// CrossScale and every hardening tax by SHScale. The input workload is
+// not modified — callers keep the uncalibrated model for comparison.
+func (cal Calibration) Apply(w Workload) Workload {
+	out := Workload{
+		BaseCycles: cal.Base,
+		CallRates:  make(map[[2]string]float64, len(w.CallRates)),
+		SHTax:      make(map[string]float64, len(w.SHTax)),
+	}
+	for pair, rate := range w.CallRates {
+		out.CallRates[pair] = rate * cal.CrossScale
+	}
+	for lib, tax := range w.SHTax {
+		out.SHTax[lib] = tax * cal.SHScale
+	}
+	return out
+}
+
+// Rescore recomputes every candidate's scores under a new workload —
+// after a calibration pass, the explorer's ranking can be refreshed in
+// place without re-running the coloring. Candidates keep their plans;
+// only EstCycles (and the security score, which is workload-free but
+// recomputed for symmetry) change.
+func Rescore(cands []*Candidate, w Workload) {
+	ctxs := make(map[gate.Backend]*scoreCtx)
+	for _, c := range cands {
+		sc, ok := ctxs[c.Backend]
+		if !ok {
+			sc = newScoreCtx(c.Libs, c.Backend, w)
+			ctxs[c.Backend] = sc
+		}
+		c.score(sc)
+	}
+}

@@ -1,0 +1,128 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"flexos/internal/core/gate"
+	"flexos/internal/core/spec"
+)
+
+// TestBreakdownSumsToEstCycles pins the decomposition against the
+// scorer: Base+Crossing+SHTax must reproduce EstCycles exactly for
+// every explored candidate on every backend.
+func TestBreakdownSumsToEstCycles(t *testing.T) {
+	w := DefaultWorkload()
+	for _, be := range []gate.Backend{gate.MPKShared, gate.MPKSwitched, gate.VMRPC} {
+		cands, err := Explore(spec.DefaultImage(), be, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			b := Breakdown(c, w)
+			if got := b.Predicted(); math.Abs(got-c.EstCycles) > 1e-6 {
+				t.Errorf("%v %s: breakdown %.6f != EstCycles %.6f",
+					be, c.Describe(), got, c.EstCycles)
+			}
+		}
+	}
+}
+
+// TestCalibrateRecoversExactModel feeds Calibrate synthetic points
+// generated from known constants; the least-squares fit must recover
+// them (the system is exactly determined, no noise).
+func TestCalibrateRecoversExactModel(t *testing.T) {
+	const b0, s1, s2 = 7000.0, 1.5, 0.25
+	var pts []CalPoint
+	for _, term := range [][2]float64{{0, 0}, {1000, 0}, {2000, 500}, {4000, 3000}, {500, 9000}} {
+		b := CostBreakdown{Base: 4000, Crossing: term[0], SHTax: term[1]}
+		pts = append(pts, CalPoint{Breakdown: b, Measured: b0 + s1*term[0] + s2*term[1]})
+	}
+	cal := Calibrate(pts)
+	if cal.Scalar {
+		t.Fatal("full-rank system fell back to scalar fit")
+	}
+	if math.Abs(cal.Base-b0) > 1e-6 || math.Abs(cal.CrossScale-s1) > 1e-9 || math.Abs(cal.SHScale-s2) > 1e-9 {
+		t.Fatalf("fit = %+v, want base %.0f scales %.2f/%.2f", cal, b0, s1, s2)
+	}
+}
+
+// TestCalibrateDegenerate checks rank-deficient point sets fall back
+// to a single proportional scale instead of producing garbage.
+func TestCalibrateDegenerate(t *testing.T) {
+	// Too few points.
+	cal := Calibrate([]CalPoint{{Breakdown: CostBreakdown{Base: 100}, Measured: 200}})
+	if !cal.Scalar {
+		t.Error("1-point fit should be scalar")
+	}
+	if math.Abs(cal.CrossScale-2) > 1e-9 {
+		t.Errorf("scalar fit = %+v, want scale 2", cal)
+	}
+	// No variance in either varying column: identical breakdowns.
+	b := CostBreakdown{Base: 100, Crossing: 50, SHTax: 10}
+	cal = Calibrate([]CalPoint{{b, 320}, {b, 320}, {b, 320}, {b, 320}})
+	if !cal.Scalar {
+		t.Error("no-variance fit should be scalar")
+	}
+	if math.Abs(cal.CrossScale-2) > 1e-9 {
+		t.Errorf("scalar fit scale = %v, want 2 (320/160)", cal.CrossScale)
+	}
+	// Empty input: identity.
+	cal = Calibrate(nil)
+	if !cal.Scalar || cal.CrossScale != 1 || cal.SHScale != 1 || cal.Base != 0 {
+		t.Errorf("empty fit = %+v, want identity", cal)
+	}
+}
+
+// TestCalibrateClampsNegative checks fitted scales never go negative —
+// they multiply call rates and taxes downstream.
+func TestCalibrateClampsNegative(t *testing.T) {
+	// Measured shrinks as crossing grows: the unconstrained fit wants a
+	// negative crossing scale.
+	var pts []CalPoint
+	for i, m := range []float64{5000, 4000, 3000, 2000} {
+		pts = append(pts, CalPoint{
+			Breakdown: CostBreakdown{Base: 1000, Crossing: float64(i) * 1000, SHTax: float64(i%2) * 100},
+			Measured:  m,
+		})
+	}
+	cal := Calibrate(pts)
+	if cal.CrossScale < 0 || cal.SHScale < 0 || cal.Base < 0 {
+		t.Fatalf("negative coefficient survived: %+v", cal)
+	}
+}
+
+// TestApplyAndRescore checks the calibrated workload reproduces the
+// fitted model through the regular scorer: rescoring a candidate under
+// cal.Apply(w) must equal Base + CrossScale·Crossing + SHScale·SHTax
+// of its original breakdown.
+func TestApplyAndRescore(t *testing.T) {
+	w := DefaultWorkload()
+	cands, err := Explore(spec.DefaultImage(), gate.MPKSwitched, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]CostBreakdown, len(cands))
+	for i, c := range cands {
+		before[i] = Breakdown(c, w)
+	}
+	cal := Calibration{Base: 9000, CrossScale: 1.25, SHScale: 0.5}
+	cw := cal.Apply(w)
+	if w.BaseCycles == cw.BaseCycles {
+		t.Fatal("Apply mutated nothing")
+	}
+	if cw.CallRates[[2]string{"app", "libc"}] != w.CallRates[[2]string{"app", "libc"}]*1.25 {
+		t.Fatal("call rate not scaled")
+	}
+	Rescore(cands, cw)
+	for i, c := range cands {
+		want := cal.Base + cal.CrossScale*before[i].Crossing + cal.SHScale*before[i].SHTax
+		if math.Abs(c.EstCycles-want) > 1e-6 {
+			t.Fatalf("candidate %d: rescored %.3f, want %.3f", i, c.EstCycles, want)
+		}
+	}
+	// The original workload must be untouched.
+	if w.BaseCycles != DefaultWorkload().BaseCycles {
+		t.Fatal("Apply mutated the input workload")
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"flexos/internal/core/explore"
+)
+
+// TestAutotuneQuick pins the sweep's shape and the acceptance
+// criteria: at least 8 measured Pareto candidates across 3 backends,
+// per-candidate predicted-vs-measured error, and a calibration that
+// tightens the model against its own measurements.
+func TestAutotuneQuick(t *testing.T) {
+	r, err := Autotune(DefaultAutotuneOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Backends) < 3 {
+		t.Fatalf("swept %d backends, want >= 3", len(r.Backends))
+	}
+	if len(r.Points) < 8 {
+		t.Fatalf("measured %d candidates, want >= 8", len(r.Points))
+	}
+	if r.FrontSize < 1 || r.FrontSize > len(r.Points) {
+		t.Fatalf("measured front size %d of %d points", r.FrontSize, len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.Measured <= 0 || p.KReqPerSec <= 0 || p.Gbps <= 0 {
+			t.Fatalf("point %d: empty measurement %+v", i, p)
+		}
+		if p.Predicted <= 0 || p.RelErrPct < 0 {
+			t.Fatalf("point %d: no validation numbers %+v", i, p)
+		}
+		if sum := p.CrossingPct + p.ComputePct + p.StallPct; sum < 99.0 || sum > 101.0 {
+			t.Fatalf("point %d: attribution shares sum to %.2f%%", i, sum)
+		}
+	}
+	// The validation ranking is worst-first.
+	for i := 1; i < len(r.ByError); i++ {
+		if r.Points[r.ByError[i-1]].RelErrPct < r.Points[r.ByError[i]].RelErrPct {
+			t.Fatal("ByError not sorted worst-first")
+		}
+	}
+	// Calibration must improve the model on the very points it was
+	// fitted from, and leave DefaultWorkload untouched.
+	if r.PostMAEPct >= r.PreMAEPct {
+		t.Fatalf("calibration did not tighten the fit: pre %.2f%% post %.2f%%", r.PreMAEPct, r.PostMAEPct)
+	}
+	if r.PostMAEPct > 10 {
+		t.Fatalf("post-calibration MAE %.2f%%, want < 10%%", r.PostMAEPct)
+	}
+	if r.Calibrated.BaseCycles == explore.DefaultWorkload().BaseCycles {
+		t.Fatal("calibrated workload did not move off the default")
+	}
+	if explore.DefaultWorkload().BaseCycles != 4000 {
+		t.Fatal("DefaultWorkload mutated by calibration")
+	}
+}
+
+// TestAutotuneMemoization pins the gate-cost-signature memo: the
+// single-compartment anchor appears once per backend but boots once —
+// without a crossing, the gate mechanism cannot affect the
+// measurement, so all three share bit-identical numbers.
+func TestAutotuneMemoization(t *testing.T) {
+	r, err := Autotune(DefaultAutotuneOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemoHits < 2 {
+		t.Fatalf("memo hits = %d, want >= 2 (one anchor per extra backend)", r.MemoHits)
+	}
+	if r.UniqueRuns+r.MemoHits != len(r.Points) {
+		t.Fatalf("boots %d + hits %d != points %d", r.UniqueRuns, r.MemoHits, len(r.Points))
+	}
+	var anchors []AutotunePoint
+	for _, p := range r.Points {
+		if p.Compartments == 1 {
+			anchors = append(anchors, p)
+		}
+	}
+	if len(anchors) != len(r.Backends) {
+		t.Fatalf("%d single-compartment anchors, want one per backend (%d)", len(anchors), len(r.Backends))
+	}
+	for _, a := range anchors[1:] {
+		if a.Measured != anchors[0].Measured || a.Gbps != anchors[0].Gbps || a.Crossings != anchors[0].Crossings {
+			t.Fatalf("anchor measurements diverged across backends: %+v vs %+v", anchors[0], a)
+		}
+	}
+}
+
+// TestAutotuneDeterministic pins bit-identical replay and worker-count
+// invariance: the full report must be equal for repeated runs and for
+// any pool size.
+func TestAutotuneDeterministic(t *testing.T) {
+	opt := DefaultAutotuneOpts(true)
+	opt.Workers = 2
+	a, err := Autotune(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Autotune(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 7
+	c, err := Autotune(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Workers = a.Workers // the pool size is the only field allowed to differ
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical runs produced different reports")
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("worker count changed the report")
+	}
+}

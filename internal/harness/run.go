@@ -144,6 +144,9 @@ type RedisResult struct {
 	ServerCycles uint64 // cycles spent on the measured ops only
 	KReqPerSec   float64
 	Crossings    uint64
+	// ByComponent is the measured window's server-side cycle delta per
+	// clock component — the same exclusion of warmup as ServerCycles.
+	ByComponent map[clock.Component]uint64
 }
 
 // RedisPipeline is the pipelining depth of the benchmark client
@@ -207,6 +210,7 @@ func runRedisMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.
 		}
 		startCycles := w.Server.CPU.Cycles()
 		startCross := w.Server.Registry.TotalCrossings()
+		startBy := w.Server.CPU.ByComponent()
 		issued := 0
 		for issued < ops {
 			batch := RedisPipeline
@@ -241,6 +245,7 @@ func runRedisMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.
 		}
 		res.ServerCycles = w.Server.CPU.Cycles() - startCycles
 		res.Crossings = w.Server.Registry.TotalCrossings() - startCross
+		res.ByComponent = componentDelta(startBy, w.Server.CPU.ByComponent())
 		cliErr = c.Close(th)
 	})
 	if err := w.Sched.Run(); err != nil {
@@ -257,4 +262,16 @@ func runRedisMode(cfg build.Config, op RedisOp, payloadBytes, ops int, mode net.
 	}
 	res.KReqPerSec = clock.OpsPerSec(res.Ops, res.ServerCycles) / 1e3
 	return res, nil
+}
+
+// componentDelta subtracts two per-component cycle snapshots, keeping
+// only the components that advanced during the window.
+func componentDelta(start, end map[clock.Component]uint64) map[clock.Component]uint64 {
+	out := make(map[clock.Component]uint64, len(end))
+	for comp, v := range end {
+		if d := v - start[comp]; d > 0 {
+			out[comp] = d
+		}
+	}
+	return out
 }

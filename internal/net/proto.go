@@ -57,6 +57,7 @@ var (
 	ErrConnClosed   = errors.New("net: connection closed")
 	ErrNotListening = errors.New("net: port not listening")
 	ErrInUse        = errors.New("net: port in use")
+	ErrNoPorts      = errors.New("net: ephemeral port space exhausted")
 	ErrTimeout      = errors.New("net: connection timed out")
 )
 

@@ -448,10 +448,14 @@ func (st *Stack) Connect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, erro
 }
 
 func (st *Stack) doConnect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, error) {
+	local, err := st.allocPort()
+	if err != nil {
+		return nil, err
+	}
 	s := st.newSocket()
 	s.state = stSynSent
 	s.localIP = st.ip
-	s.localPort = st.allocPort()
+	s.localPort = local
 	s.remoteIP = ip
 	s.remotePort = port
 	s.iss = st.nextISN()
@@ -470,13 +474,56 @@ func (st *Stack) doConnect(t *sched.Thread, ip IPAddr, port uint16) (*Socket, er
 	return s, nil
 }
 
-func (st *Stack) allocPort() uint16 {
-	p := st.nextEphemeral
-	st.nextEphemeral++
-	if st.nextEphemeral == 0 {
-		st.nextEphemeral = 49152
+// ephemeralBase is the bottom of the IANA dynamic port range the
+// stack hands out ephemeral source ports from.
+const ephemeralBase = 49152
+
+// allocPort hands out an ephemeral source port. The cursor wraps
+// around the dynamic range, and ports currently held by a live TCP
+// connection, a listener or a bound UDP socket are skipped — after a
+// wraparound the naive cursor used to re-issue a port backing an
+// active 4-tuple, aliasing two connections onto one demux key and
+// misdelivering segments. Port 0 is never returned (it is the
+// "unbound" sentinel to every caller). When every port of the range
+// is held it reports ErrNoPorts instead of aliasing.
+func (st *Stack) allocPort() (uint16, error) {
+	const span = 1<<16 - ephemeralBase
+	for i := 0; i < span; i++ {
+		p := st.nextEphemeral
+		st.nextEphemeral++
+		if st.nextEphemeral == 0 {
+			st.nextEphemeral = ephemeralBase
+		}
+		if p == 0 || p < ephemeralBase {
+			// A cursor below the range (zero value, or a test poking it)
+			// re-enters at the base rather than issuing reserved ports.
+			st.nextEphemeral = ephemeralBase
+			continue
+		}
+		if st.portInUse(p) {
+			continue
+		}
+		return p, nil
 	}
-	return p
+	return 0, ErrNoPorts
+}
+
+// portInUse reports whether any live endpoint holds p as its local
+// port: an established/half-open TCP connection (any remote), a
+// listener, or a bound UDP socket.
+func (st *Stack) portInUse(p uint16) bool {
+	if _, ok := st.listeners[p]; ok {
+		return true
+	}
+	if _, ok := st.udpSocks[p]; ok {
+		return true
+	}
+	for k := range st.conns {
+		if k.localPort == p {
+			return true
+		}
+	}
+	return false
 }
 
 func (st *Stack) nextISN() uint32 {

@@ -37,16 +37,13 @@ type UDPSocket struct {
 // UDPBind binds a UDP socket to port; port 0 picks an ephemeral port.
 func (st *Stack) UDPBind(port uint16) (*UDPSocket, error) {
 	if port == 0 {
-		for i := 0; i < 1<<16 && port == 0; i++ {
-			if p := st.allocPort(); p != 0 {
-				if _, ok := st.udpSocks[p]; !ok {
-					port = p
-				}
-			}
+		// allocPort skips every in-use port (TCP and UDP alike) and
+		// never returns 0, so one draw suffices.
+		p, err := st.allocPort()
+		if err != nil {
+			return nil, fmt.Errorf("%w: no ephemeral udp port", err)
 		}
-		if port == 0 {
-			return nil, fmt.Errorf("%w: no ephemeral udp port", ErrInUse)
-		}
+		port = p
 	}
 	if _, ok := st.udpSocks[port]; ok {
 		return nil, fmt.Errorf("%w: udp %d", ErrInUse, port)

@@ -212,3 +212,90 @@ func TestUDPOversizedDatagramRejected(t *testing.T) {
 		t.Fatal("oversized datagram accepted")
 	}
 }
+
+// TestUDPCorruptionDetectedNotDelivered is the UDP counterpart of the
+// TCP chaosnet checksum regression: bit flips on the wire must be
+// caught by checksum validation and counted in ChecksumDrops, and a
+// corrupted datagram must be dropped — UDP has no retransmission, so
+// "dropped" means it never reaches the application, while every
+// datagram that *is* delivered arrives bit-exact.
+func TestUDPCorruptionDetectedNotDelivered(t *testing.T) {
+	s, server, client, w := world(t, Config{})
+	w.ArmBoth(LinkFaults{Seed: 11, Corrupt: 0.2})
+	const (
+		port  = 5002
+		total = 40
+		size  = 256
+	)
+	us, err := server.stack.UDPBind(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	s.Spawn("server", server.cpu, func(th *sched.Thread) {
+		buf := server.buf(t, size, 0)
+		for {
+			n, _, _, err := us.RecvFrom(th, buf, size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n == 1 {
+				return // end-of-run sentinel, sent over a clean wire
+			}
+			if n != size {
+				t.Errorf("truncated datagram: %d bytes", n)
+				return
+			}
+			// Datagram k is filled with k+i%97 (the buf fixture's
+			// pattern), so integrity is checkable from the first byte
+			// without assuming ordering.
+			b, _ := server.arena.Bytes(buf, n)
+			fill := b[0]
+			for i, c := range b {
+				if c != fill+byte(i%97) {
+					t.Fatalf("corrupted payload delivered: byte %d = %#x", i, c)
+				}
+			}
+			delivered++
+		}
+	})
+	s.Spawn("client", client.cpu, func(th *sched.Thread) {
+		uc, err := client.stack.UDPBind(40000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for k := 0; k < total; k++ {
+			out := client.buf(t, size, byte(k))
+			if err := uc.SendTo(th, server.stack.IP(), port, out, size); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// Disarm the wire so the sentinel is delivered reliably; UDP
+		// never retransmits, so the server can only stop on a datagram
+		// that is guaranteed to arrive.
+		w.ArmBoth(LinkFaults{})
+		end := client.buf(t, 1, 0)
+		if err := uc.SendTo(th, server.stack.IP(), port, end, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Corrupted == 0 {
+		t.Fatal("fault model corrupted nothing at 20% rate")
+	}
+	drops := server.stack.Stats().ChecksumDrops
+	if drops == 0 {
+		t.Fatal("no corrupted datagram was caught by checksum validation")
+	}
+	if delivered+int(drops) != total {
+		t.Fatalf("delivered %d + checksum-dropped %d != sent %d", delivered, drops, total)
+	}
+	if delivered == total {
+		t.Fatal("every datagram delivered despite corruption")
+	}
+}
